@@ -1,0 +1,319 @@
+// Package repro's root benchmark suite: one testing.B benchmark per table
+// and figure of the paper, as indexed in DESIGN.md §3. Shapes, not
+// absolute numbers, are the reproduction target; EXPERIMENTS.md records
+// both. Run with:
+//
+//	go test -bench=. -benchmem .
+package repro
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataio"
+	"repro/internal/ensemble"
+	"repro/internal/heat"
+	"repro/internal/kmeans"
+	"repro/internal/knn"
+	"repro/internal/locale"
+	"repro/internal/mnistgen"
+	"repro/internal/nycgen"
+	"repro/internal/pipeline"
+	"repro/internal/prng"
+	"repro/internal/rdd"
+	"repro/internal/spatial"
+	"repro/internal/taskfarm"
+	"repro/internal/traffic"
+)
+
+// ---------- Figures ----------
+
+// BenchmarkFig1KMeans2D clusters the Figure 1 instance (2D, K=3).
+func BenchmarkFig1KMeans2D(b *testing.B) {
+	ds := dataio.GaussianMixture(101, 3000, 2, 3, 6.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kmeans.Run(ds.Points, kmeans.Options{K: 3, Seed: 11})
+	}
+}
+
+// BenchmarkFig2Pipeline runs the Figure 2 crime pipeline over the four
+// synthetic NYC datasets.
+func BenchmarkFig2Pipeline(b *testing.B) {
+	dir := b.TempDir()
+	city := nycgen.NewCity(202, 10, 6)
+	if _, err := city.ExportAll(dir, 303, 20000, 10000, 0.03); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := rdd.NewContext()
+		if _, err := pipeline.CrimePipeline(ctx, dir, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Traffic advances the Figure 3 instance (200 cars, road
+// 1000, p=0.13, vmax=5) by 500 steps.
+func BenchmarkFig3Traffic(b *testing.B) {
+	cfg := traffic.Config{Cars: 200, RoadLen: 1000, VMax: 5, P: 0.13, Seed: 2023}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := traffic.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.RunSerial(500)
+	}
+}
+
+// BenchmarkFig4Ensemble trains the Figure 4 ensemble (4 members, quick
+// sizing) and runs the two-panel prediction.
+func BenchmarkFig4Ensemble(b *testing.B) {
+	ds := mnistgen.Generate(404, 900)
+	train, val := ds.Split(720)
+	cfgs := ensemble.Grid([][]int{{24}}, []float64{0.1, 0.05}, []float64{0.9, 0.5}, 4, 32, 505)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ens := ensemble.Train(train, val, cfgs, 0)
+		r := prng.New(606)
+		ens.Predict(mnistgen.Ambiguous(4, 9, r))
+		ens.Predict(mnistgen.Render(4, r))
+	}
+}
+
+// ---------- In-text claims ----------
+
+// knnInstance returns a scaled version of the §2 instance (full size is
+// n=q=5000, d=40; the default here is quarter scale so the full suite
+// stays minutes, not hours — run cmd/peachy repro for the full instance).
+func knnInstance() (*dataio.Dataset, [][]float64) {
+	ds := dataio.GaussianMixture(111, 1250+1250, 40, 4, 4.0)
+	db, q := ds.Split(1250)
+	return db, q.Points
+}
+
+// BenchmarkC1KNNSequential compares the Θ(n log n) sort against the
+// Θ(n log k) heap on the §2 instance.
+func BenchmarkC1KNNSequential(b *testing.B) {
+	db, queries := knnInstance()
+	b.Run("Sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			knn.SequentialSort(db, queries, 15)
+		}
+	})
+	b.Run("Heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			knn.SequentialHeap(db, queries, 15)
+		}
+	})
+}
+
+// BenchmarkC1KNNParallel sweeps worker counts for the shared-memory kNN.
+func BenchmarkC1KNNParallel(b *testing.B) {
+	db, queries := knnInstance()
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				knn.Parallel(db, queries, 15, w)
+			}
+		})
+	}
+}
+
+// BenchmarkC1KNNMapReduce sweeps rank counts for the MapReduce kNN.
+func BenchmarkC1KNNMapReduce(b *testing.B) {
+	db, queries := knnInstance()
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				world := cluster.NewWorld(p)
+				if _, err := knn.MapReduce(world, db, queries, 15, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkC1KNNKDTree measures the space-partitioning variation.
+func BenchmarkC1KNNKDTree(b *testing.B) {
+	db, queries := knnInstance()
+	tree := spatial.NewKDTree(db.Points, db.Labels)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		knn.KDTree(tree, queries, 15, 0)
+	}
+}
+
+// BenchmarkC2CombinerEffect measures the §2 local-reduction claim: bytes
+// shipped with and without combiners (reported as custom metrics).
+func BenchmarkC2CombinerEffect(b *testing.B) {
+	ds := dataio.GaussianMixture(222, 2000+50, 8, 4, 4.0)
+	db, q := ds.Split(2000)
+	for _, on := range []bool{false, true} {
+		name := "CombinerOff"
+		if on {
+			name = "CombinerOn"
+		}
+		b.Run(name, func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				world := cluster.NewWorld(4)
+				if _, err := knn.MapReduce(world, db, q.Points, 15, on); err != nil {
+					b.Fatal(err)
+				}
+				bytes = world.TotalBytes()
+			}
+			b.ReportMetric(float64(bytes), "shuffle-bytes")
+		})
+	}
+}
+
+// BenchmarkC3KMeansStrategies runs the §3 strategy ladder.
+func BenchmarkC3KMeansStrategies(b *testing.B) {
+	ds := dataio.GaussianMixture(333, 50000, 4, 16, 3.0)
+	for _, s := range []kmeans.Strategy{kmeans.Sequential, kmeans.Critical, kmeans.Atomic, kmeans.Reduction} {
+		b.Run(s.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				kmeans.Run(ds.Points, kmeans.Options{K: 16, Seed: 5, Strategy: s, MaxIter: 5})
+			}
+		})
+	}
+}
+
+// BenchmarkC4KMeansDistributed sweeps rank counts for the distributed
+// K-means, reporting simulated communication time.
+func BenchmarkC4KMeansDistributed(b *testing.B) {
+	ds := dataio.GaussianMixture(444, 20000, 4, 8, 3.0)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("P%d", p), func(b *testing.B) {
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				world := cluster.NewWorld(p)
+				if _, err := kmeans.RunDistributed(world, ds.Points, kmeans.Options{K: 8, Seed: 5, MaxIter: 10}); err != nil {
+					b.Fatal(err)
+				}
+				sim = world.SimTime()
+			}
+			b.ReportMetric(sim*1e6, "sim-us")
+		})
+	}
+}
+
+// BenchmarkC5TrafficScaling sweeps worker counts for the reproducible
+// parallel traffic simulation.
+func BenchmarkC5TrafficScaling(b *testing.B) {
+	cfg := traffic.Config{Cars: 2000, RoadLen: 10000, VMax: 5, P: 0.13, Seed: 99}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("W%d", w), func(b *testing.B) {
+			s, err := traffic.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.RunParallel(10, w, traffic.SharedSequence)
+			}
+		})
+	}
+}
+
+// BenchmarkC6JumpAhead measures the O(log n) fast-forward against serial
+// advancing for n = 2^20.
+func BenchmarkC6JumpAhead(b *testing.B) {
+	b.Run("Jump", func(b *testing.B) {
+		g := prng.NewLCG64(1)
+		for i := 0; i < b.N; i++ {
+			g.Jump(1 << 20)
+		}
+	})
+	b.Run("SerialAdvance", func(b *testing.B) {
+		g := prng.NewLCG64(1)
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 1<<20; j++ {
+				g.Uint64()
+			}
+		}
+	})
+}
+
+// BenchmarkC7Heat compares part 1's forall solver (fresh tasks per step)
+// against part 2's coforall solver (persistent tasks + barrier + halos).
+func BenchmarkC7Heat(b *testing.B) {
+	p := heat.Problem{Alpha: 0.25, U0: heat.SinInit(2048), Steps: 2000}
+	sys := locale.NewSystem(4, 1)
+	b.Run("Forall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := heat.SolveForall(p, sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Coforall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := heat.SolveCoforall(p, sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := heat.SolveSerial(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkC8TaskFarm compares static and dynamic distribution of M=10
+// tasks over P=4 ranks (P does not divide M), reporting load imbalance.
+func BenchmarkC8TaskFarm(b *testing.B) {
+	const m = 10
+	run := func(b *testing.B, dynamic bool) {
+		var imbalance float64
+		for i := 0; i < b.N; i++ {
+			world := cluster.NewWorld(4)
+			err := world.Run(func(c *cluster.Comm) {
+				exec := func(task int) int { return task * task }
+				var rep taskfarm.Report
+				if dynamic {
+					_, rep = taskfarm.RunDynamic(c, m, exec)
+				} else {
+					_, rep = taskfarm.RunStatic(c, m, taskfarm.Block, exec)
+				}
+				if c.Rank() == 0 {
+					imbalance = rep.Imbalance()
+				}
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(imbalance, "imbalance")
+	}
+	b.Run("Static", func(b *testing.B) { run(b, false) })
+	b.Run("Dynamic", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkC9EnsembleInference measures ensemble prediction with
+// uncertainty over a batch of digits.
+func BenchmarkC9EnsembleInference(b *testing.B) {
+	ds := mnistgen.Generate(777, 600)
+	train, val := ds.Split(500)
+	cfgs := ensemble.Grid([][]int{{24}}, []float64{0.1}, []float64{0.9, 0.5}, 4, 32, 888)
+	ens := ensemble.Train(train, val, cfgs, 0)
+	probe := mnistgen.Generate(999, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range probe.Points {
+			ens.Predict(x)
+		}
+	}
+}
+
+// TestMain keeps the bench package quiet under plain `go test ./...`.
+func TestMain(m *testing.M) { os.Exit(m.Run()) }

@@ -1,0 +1,83 @@
+// Command kmeans runs the K-means clustering assignment (paper §3) with a
+// chosen parallelisation strategy, or distributed over simulated ranks:
+//
+//	kmeans -n 200000 -d 4 -k 16 -strategy reduction
+//	kmeans -distributed -ranks 8
+//	kmeans -in points.csv -k 5 -strategy atomic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dataio"
+	"repro/internal/kmeans"
+)
+
+func main() {
+	n := flag.Int("n", 100000, "points (synthetic mode)")
+	d := flag.Int("d", 4, "dimensions (synthetic mode)")
+	k := flag.Int("k", 8, "clusters")
+	seed := flag.Uint64("seed", 1, "seed for data and initial centroids")
+	maxIter := flag.Int("maxiter", 100, "iteration cap")
+	minChanges := flag.Int("minchanges", 0, "stop when changes <= this")
+	strategy := flag.String("strategy", "reduction", "sequential | critical | atomic | reduction")
+	workers := flag.Int("workers", 0, "workers (0 = all cores)")
+	distributed := flag.Bool("distributed", false, "run on simulated cluster ranks")
+	ranks := flag.Int("ranks", 4, "ranks when -distributed")
+	inPath := flag.String("in", "", "CSV input (cols: x1..xd,label); overrides synthetic")
+	flag.Parse()
+
+	var points [][]float64
+	if *inPath != "" {
+		ds, err := dataio.LoadCSV(*inPath)
+		if err != nil {
+			fatal(err)
+		}
+		points = ds.Points
+	} else {
+		points = dataio.GaussianMixture(*seed, *n, *d, *k, 3.0).Points
+	}
+
+	strat := map[string]kmeans.Strategy{
+		"sequential": kmeans.Sequential,
+		"critical":   kmeans.Critical,
+		"atomic":     kmeans.Atomic,
+		"reduction":  kmeans.Reduction,
+	}[*strategy]
+	opts := kmeans.Options{
+		K: *k, Seed: *seed, MaxIter: *maxIter, MinChanges: *minChanges,
+		Workers: *workers, Strategy: strat,
+	}
+
+	start := time.Now()
+	var res *kmeans.Result
+	if *distributed {
+		world := cluster.NewWorld(*ranks)
+		var err error
+		res, err = kmeans.RunDistributed(world, points, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cluster: %d messages, %d bytes, simulated time %.2g s\n",
+			world.TotalMessages(), world.TotalBytes(), world.SimTime())
+	} else {
+		res = kmeans.Run(points, opts)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("n=%d d=%d K=%d strategy=%s: %.3fs, %d iterations (converged=%v), WCSS=%.2f\n",
+		len(points), len(points[0]), *k, *strategy,
+		elapsed.Seconds(), res.Iterations, res.Converged, res.WCSS(points))
+	if len(res.ChangesPerIter) > 0 {
+		fmt.Printf("cluster changes per iteration: %v\n", res.ChangesPerIter)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kmeans:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command peachy is the umbrella tool for the Peachy Parallel Assignments
+// reproduction. Its main job is regenerating the paper's exhibits:
+//
+//	peachy list                 # show every exhibit id
+//	peachy repro                # regenerate all exhibits into ./out
+//	peachy repro -quick         # smaller instances (seconds, not minutes)
+//	peachy repro -only fig3     # one exhibit
+//	peachy repro -out /tmp/out  # choose the output directory
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "verify":
+		passed, total, lines := core.RunChecks()
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		fmt.Printf("\n%d/%d acceptance checks passed\n", passed, total)
+		if passed != total {
+			os.Exit(1)
+		}
+	case "list":
+		for _, e := range core.AllExhibits() {
+			fmt.Printf("%-7s %s\n", e.ID, e.Title)
+		}
+	case "repro":
+		fs := flag.NewFlagSet("repro", flag.ExitOnError)
+		out := fs.String("out", "out", "output directory for artifacts")
+		quick := fs.Bool("quick", false, "shrink instance sizes for a fast pass")
+		only := fs.String("only", "", "regenerate a single exhibit id (see `peachy list`)")
+		_ = fs.Parse(os.Args[2:])
+		if *only != "" {
+			e, ok := core.Find(*only)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "peachy: unknown exhibit %q\n", *only)
+				os.Exit(1)
+			}
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fatal(err)
+			}
+			summary, err := e.Run(*out, *quick)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("# %s — %s\n\n%s\n", e.ID, e.Title, summary)
+			return
+		}
+		if err := core.RunAll(*out, *quick); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("all exhibits regenerated into %s (see repro_report.md)\n", *out)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  peachy list
+  peachy repro [-out dir] [-quick] [-only id]
+  peachy verify`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "peachy:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Paramstudy: the traffic assignment's "run a series of parameter study
+// cases and take advantage of embarrassingly parallel jobs" variation
+// (paper §5), built from two substrates at once: each (density, p) cell of
+// the study is an independent task distributed over simulated cluster
+// ranks by the dynamic task farm, and each task runs a full
+// Nagel-Schreckenberg simulation. The output is the flow surface — the
+// fundamental diagram per dawdling probability.
+//
+//	go run ./examples/paramstudy
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/taskfarm"
+	"repro/internal/traffic"
+)
+
+func main() {
+	densities := []float64{0.05, 0.1, 0.15, 0.2, 0.3, 0.45, 0.6}
+	ps := []float64{0.0, 0.13, 0.3, 0.5}
+	const roadLen, warm, window = 600, 300, 60
+
+	type cell struct{ di, pi int }
+	var cells []cell
+	for di := range densities {
+		for pi := range ps {
+			cells = append(cells, cell{di, pi})
+		}
+	}
+
+	world := cluster.NewWorld(4)
+	var flows []float64
+	var report taskfarm.Report
+	err := world.Run(func(c *cluster.Comm) {
+		res, rep := taskfarm.RunDynamic(c, len(cells), func(task int) float64 {
+			cl := cells[task]
+			cars := int(densities[cl.di] * roadLen)
+			s, err := traffic.New(traffic.Config{
+				Cars: cars, RoadLen: roadLen, VMax: 5,
+				P: ps[cl.pi], Seed: uint64(task) + 1,
+			})
+			if err != nil {
+				panic(err)
+			}
+			s.RunSerial(warm)
+			flow := 0.0
+			for i := 0; i < window; i++ {
+				s.RunSerial(1)
+				flow += s.Flow() / window
+			}
+			return flow
+		})
+		if c.Rank() == 0 {
+			flows = res
+			report = rep
+		}
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	fmt.Printf("%d study cells over 4 ranks (dynamic farm), worker loads %v\n\n",
+		len(cells), report.PerRank)
+	fmt.Print("flow (cars/cell/step) by density x dawdling probability:\n\n density")
+	for _, p := range ps {
+		fmt.Printf("  p=%.2f", p)
+	}
+	fmt.Println()
+	for di, rho := range densities {
+		fmt.Printf("   %.2f ", rho)
+		for pi := range ps {
+			fmt.Printf("  %.3f ", flows[di*len(ps)+pi])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nhigher p shifts the flow peak down and to the left — dawdling")
+	fmt.Println("destroys throughput well before geometric gridlock would.")
+}

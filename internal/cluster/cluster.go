@@ -1,0 +1,322 @@
+// Package cluster is an in-process message-passing runtime that stands in
+// for MPI in the paper's distributed-memory assignments. A World of P
+// ranks runs one goroutine per rank; each rank has private state and
+// communicates only through typed point-to-point messages and MPI-style
+// collectives (Barrier, Bcast, Scatter, Gather, Allgather, Reduce,
+// Allreduce, Alltoall, Scan).
+//
+// Besides real concurrency, the runtime maintains a deterministic
+// performance model: every message advances per-rank simulated clocks by
+// alpha + beta*bytes (latency plus inverse bandwidth), and the collectives
+// are built from binomial trees of point-to-point messages so their
+// simulated cost has the familiar O(log P) shape. This lets the
+// communication-cost experiments in the paper reproduce on any host,
+// including single-core ones, and makes message/byte counting exact.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches a message from any rank in Recv.
+const AnySource = -1
+
+// AnyTag matches a message with any tag in Recv.
+const AnyTag = -1
+
+// Options configures a World's cost model.
+type Options struct {
+	// Latency is the simulated per-message cost in seconds (alpha).
+	Latency float64
+	// ByteTime is the simulated per-byte cost in seconds (beta, the
+	// inverse bandwidth).
+	ByteTime float64
+}
+
+// DefaultOptions models a commodity cluster interconnect: 1 microsecond
+// latency and 10 GB/s bandwidth.
+func DefaultOptions() Options {
+	return Options{Latency: 1e-6, ByteTime: 1e-10}
+}
+
+type message struct {
+	src, tag int
+	payload  any
+	bytes    int
+	arrive   float64 // sender's simulated clock when the message is available
+}
+
+// mailbox holds pending messages for one rank.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+	closed  bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.pending = append(m.pending, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is pending and removes
+// it, preserving FIFO order per (src, tag) pair.
+func (m *mailbox) take(src, tag int) (message, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.pending {
+			if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return msg, nil
+			}
+		}
+		if m.closed {
+			return message{}, fmt.Errorf("cluster: world aborted while waiting for src=%d tag=%d", src, tag)
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// World is a set of ranks that can run SPMD programs.
+type World struct {
+	size  int
+	opts  Options
+	boxes []*mailbox
+	comms []*Comm
+}
+
+// NewWorld creates a world of size ranks with the default cost model.
+func NewWorld(size int) *World { return NewWorldOpts(size, DefaultOptions()) }
+
+// NewWorldOpts creates a world of size ranks with an explicit cost model.
+func NewWorldOpts(size int, opts Options) *World {
+	if size < 1 {
+		panic("cluster: world size must be >= 1")
+	}
+	w := &World{size: size, opts: opts}
+	w.boxes = make([]*mailbox, size)
+	w.comms = make([]*Comm, size)
+	for r := 0; r < size; r++ {
+		w.boxes[r] = newMailbox()
+	}
+	for r := 0; r < size; r++ {
+		w.comms[r] = &Comm{world: w, rank: r}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes f once per rank, concurrently, and blocks until every rank
+// returns. A panic in any rank aborts the world (unblocking ranks stuck in
+// Recv) and is reported as an error.
+func (w *World) Run(f func(c *Comm)) error {
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	errs := make([]error, w.size)
+	for r := 0; r < w.size; r++ {
+		go func(c *Comm) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[c.rank] = fmt.Errorf("cluster: rank %d panicked: %v", c.rank, p)
+					for _, b := range w.boxes {
+						b.close()
+					}
+				}
+			}()
+			f(c)
+		}(w.comms[r])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SimTime returns the maximum simulated clock over all ranks: the modeled
+// makespan of everything run so far.
+func (w *World) SimTime() float64 {
+	max := 0.0
+	for _, c := range w.comms {
+		if c.clock > max {
+			max = c.clock
+		}
+	}
+	return max
+}
+
+// TotalMessages returns the number of point-to-point messages sent
+// (collectives count as their constituent messages).
+func (w *World) TotalMessages() int64 {
+	var n int64
+	for _, c := range w.comms {
+		n += c.msgs
+	}
+	return n
+}
+
+// TotalBytes returns the total payload bytes sent.
+func (w *World) TotalBytes() int64 {
+	var n int64
+	for _, c := range w.comms {
+		n += c.bytes
+	}
+	return n
+}
+
+// ResetStats zeroes clocks and counters on every rank. Call between
+// experiment phases; ranks must be quiescent.
+func (w *World) ResetStats() {
+	for _, c := range w.comms {
+		c.clock, c.msgs, c.bytes = 0, 0, 0
+	}
+}
+
+// Comm is one rank's endpoint into the world. It is owned by the rank's
+// goroutine; methods must not be called from other goroutines.
+type Comm struct {
+	world *World
+	rank  int
+
+	clock float64 // simulated seconds
+	msgs  int64
+	bytes int64
+
+	collSeq int // collective matching sequence; see collTag
+	subGen  int // sub-communicator generation counter; see Split
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Clock returns this rank's simulated time in seconds.
+func (c *Comm) Clock() float64 { return c.clock }
+
+// AdvanceClock adds simulated compute seconds to this rank's clock. Use it
+// to model local work between communication phases.
+func (c *Comm) AdvanceClock(seconds float64) { c.clock += seconds }
+
+// sendRaw posts a message and advances the sender's clock.
+func (c *Comm) sendRaw(dst, tag int, payload any, bytes int) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("cluster: send to invalid rank %d", dst))
+	}
+	c.clock += c.world.opts.Latency + c.world.opts.ByteTime*float64(bytes)
+	c.msgs++
+	c.bytes += int64(bytes)
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, payload: payload, bytes: bytes, arrive: c.clock})
+}
+
+// recvRaw blocks for a matching message and advances the receiver's clock
+// to at least the message's availability time.
+func (c *Comm) recvRaw(src, tag int) message {
+	msg, err := c.world.boxes[c.rank].take(src, tag)
+	if err != nil {
+		panic(err.Error())
+	}
+	if msg.arrive > c.clock {
+		c.clock = msg.arrive
+	}
+	return msg
+}
+
+// Send delivers v to rank dst with the given tag. It does not block on the
+// receiver (eager/buffered semantics).
+func Send[T any](c *Comm, dst, tag int, v T) {
+	c.sendRaw(dst, tag, v, byteSize(v))
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. src may be AnySource and tag may be AnyTag. The
+// payload must have been sent with the same type T.
+func Recv[T any](c *Comm, src, tag int) T {
+	msg := c.recvRaw(src, tag)
+	v, ok := msg.payload.(T)
+	if !ok {
+		panic(fmt.Sprintf("cluster: rank %d Recv type mismatch: got %T", c.rank, msg.payload))
+	}
+	return v
+}
+
+// RecvFrom is Recv that additionally reports the sending rank; useful with
+// AnySource (the dynamic task farm uses it).
+func RecvFrom[T any](c *Comm, src, tag int) (T, int) {
+	msg := c.recvRaw(src, tag)
+	v, ok := msg.payload.(T)
+	if !ok {
+		panic(fmt.Sprintf("cluster: rank %d RecvFrom type mismatch: got %T", c.rank, msg.payload))
+	}
+	return v, msg.src
+}
+
+// byteSize estimates the wire size of a payload for the cost model.
+func byteSize(v any) int {
+	switch x := v.(type) {
+	case nil:
+		return 0
+	case bool, int8, uint8:
+		return 1
+	case int16, uint16:
+		return 2
+	case int32, uint32, float32:
+		return 4
+	case int, int64, uint, uint64, float64:
+		return 8
+	case string:
+		return len(x)
+	case []byte:
+		return len(x)
+	case []int:
+		return 8 * len(x)
+	case []int64:
+		return 8 * len(x)
+	case []float64:
+		return 8 * len(x)
+	case []float32:
+		return 4 * len(x)
+	case []int32:
+		return 4 * len(x)
+	case []string:
+		n := 0
+		for _, s := range x {
+			n += len(s) + 8
+		}
+		return n
+	case Sizer:
+		return x.WireSize()
+	default:
+		// Unknown payloads get a flat estimate; implement Sizer for
+		// anything whose size matters to an experiment.
+		return 64
+	}
+}
+
+// Sizer lets custom payload types report their wire size to the cost model.
+type Sizer interface {
+	WireSize() int
+}

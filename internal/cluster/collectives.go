@@ -1,0 +1,234 @@
+package cluster
+
+import "fmt"
+
+// Collective matching: every rank must call the same sequence of
+// collectives on its Comm (the usual MPI requirement). Each call consumes
+// one tag from a reserved negative tag space so that collectives never
+// collide with user point-to-point traffic or with each other.
+const collTagBase = -(1 << 30)
+
+func (c *Comm) nextCollTag() int {
+	t := collTagBase - c.collSeq
+	c.collSeq++
+	return t
+}
+
+// Barrier blocks until every rank has entered it. It is built from a
+// binomial gather followed by a binomial broadcast of empty messages, so
+// its simulated cost is ~2*alpha*log2(P).
+func (c *Comm) Barrier() {
+	tag := c.nextCollTag()
+	reduceTree(c, 0, tag, struct{}{}, func(a, _ struct{}) struct{} { return a })
+	bcastTree(c, 0, tag, struct{}{})
+}
+
+// Bcast distributes root's value to every rank along a binomial tree and
+// returns it. Non-root ranks pass their (ignored) local v.
+func Bcast[T any](c *Comm, root int, v T) T {
+	return bcastTree(c, root, c.nextCollTag(), v)
+}
+
+// Reduce folds every rank's contribution with op along a binomial tree.
+// The reduced value is returned on root; other ranks get their partial
+// (which callers should ignore). op must be associative and commutative;
+// it may mutate and return its first argument.
+func Reduce[T any](c *Comm, root int, v T, op func(a, b T) T) T {
+	return reduceTree(c, root, c.nextCollTag(), v, op)
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast: every rank receives the
+// fully reduced value.
+func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
+	tag := c.nextCollTag()
+	r := reduceTree(c, 0, tag, v, op)
+	return bcastTree(c, 0, tag, r)
+}
+
+// Gather collects one value from every rank. On root it returns a slice
+// indexed by rank; on other ranks it returns nil.
+func Gather[T any](c *Comm, root int, v T) []T {
+	tag := c.nextCollTag()
+	if c.rank != root {
+		c.sendRaw(root, tag, v, byteSize(v))
+		return nil
+	}
+	out := make([]T, c.Size())
+	out[root] = v
+	for r := 0; r < c.Size(); r++ {
+		if r == root {
+			continue
+		}
+		msg := c.recvRaw(r, tag)
+		out[r] = msg.payload.(T)
+	}
+	return out
+}
+
+// Allgather collects one value from every rank and returns the full
+// rank-indexed slice on every rank (Gather to 0 + Bcast).
+func Allgather[T any](c *Comm, v T) []T {
+	tag := c.nextCollTag()
+	var all []T
+	if c.rank != 0 {
+		c.sendRaw(0, tag, v, byteSize(v))
+	} else {
+		all = make([]T, c.Size())
+		all[0] = v
+		for r := 1; r < c.Size(); r++ {
+			msg := c.recvRaw(r, tag)
+			all[r] = msg.payload.(T)
+		}
+	}
+	return bcastTree(c, 0, tag, all)
+}
+
+// Scatter distributes parts[r] from root to rank r and returns this rank's
+// part. Only root's parts argument is consulted; it must have length Size.
+func Scatter[T any](c *Comm, root int, parts []T) T {
+	tag := c.nextCollTag()
+	if c.rank == root {
+		if len(parts) != c.Size() {
+			panic(fmt.Sprintf("cluster: Scatter needs %d parts, got %d", c.Size(), len(parts)))
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			c.sendRaw(r, tag, parts[r], byteSize(parts[r]))
+		}
+		return parts[root]
+	}
+	msg := c.recvRaw(root, tag)
+	return msg.payload.(T)
+}
+
+// Alltoall performs a total exchange: parts[i] is delivered to rank i, and
+// the returned slice holds what every rank sent to this one, indexed by
+// source rank.
+func Alltoall[T any](c *Comm, parts []T) []T {
+	if len(parts) != c.Size() {
+		panic(fmt.Sprintf("cluster: Alltoall needs %d parts, got %d", c.Size(), len(parts)))
+	}
+	tag := c.nextCollTag()
+	out := make([]T, c.Size())
+	out[c.rank] = parts[c.rank]
+	for r := 0; r < c.Size(); r++ {
+		if r == c.rank {
+			continue
+		}
+		c.sendRaw(r, tag, parts[r], byteSize(parts[r]))
+	}
+	for i := 0; i < c.Size()-1; i++ {
+		msg := c.recvRaw(AnySource, tag)
+		out[msg.src] = msg.payload.(T)
+	}
+	return out
+}
+
+// Scan computes the inclusive prefix reduction: rank r receives
+// op(v_0, ..., v_r). The chain is linear, as in a textbook MPI_Scan.
+func Scan[T any](c *Comm, v T, op func(a, b T) T) T {
+	tag := c.nextCollTag()
+	acc := v
+	if c.rank > 0 {
+		msg := c.recvRaw(c.rank-1, tag)
+		acc = op(msg.payload.(T), v)
+	}
+	if c.rank < c.Size()-1 {
+		c.sendRaw(c.rank+1, tag, acc, byteSize(acc))
+	}
+	return acc
+}
+
+// bcastTree is a binomial-tree broadcast rooted at root using tag.
+func bcastTree[T any](c *Comm, root, tag int, v T) T {
+	size := c.Size()
+	rel := (c.rank - root + size) % size
+	mask := 1
+	for mask < size {
+		if rel&mask != 0 {
+			parent := ((rel &^ mask) + root) % size
+			msg := c.recvRaw(parent, tag)
+			v = msg.payload.(T)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if rel+mask < size {
+			dst := (rel + mask + root) % size
+			c.sendRaw(dst, tag, v, byteSize(v))
+		}
+	}
+	return v
+}
+
+// reduceTree is a binomial-tree reduction to root using tag.
+func reduceTree[T any](c *Comm, root, tag int, v T, op func(a, b T) T) T {
+	size := c.Size()
+	rel := (c.rank - root + size) % size
+	acc := v
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask == 0 {
+			srcRel := rel | mask
+			if srcRel < size {
+				msg := c.recvRaw((srcRel+root)%size, tag)
+				acc = op(acc, msg.payload.(T))
+			}
+		} else {
+			dst := ((rel &^ mask) + root) % size
+			c.sendRaw(dst, tag, acc, byteSize(acc))
+			break
+		}
+	}
+	return acc
+}
+
+// SumFloat64s is a ready-made op for Allreduce/Reduce over []float64: it
+// adds b into a elementwise and returns a.
+func SumFloat64s(a, b []float64) []float64 {
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a
+}
+
+// SumInt64s adds b into a elementwise and returns a.
+func SumInt64s(a, b []int64) []int64 {
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a
+}
+
+// SplitEven cuts xs into parts contiguous chunks whose sizes differ by at
+// most one (the first len(xs)%parts chunks get the extra element). It is
+// the canonical block decomposition used throughout the assignments.
+func SplitEven[T any](xs []T, parts int) [][]T {
+	out := make([][]T, parts)
+	n := len(xs)
+	q, r := n/parts, n%parts
+	lo := 0
+	for p := 0; p < parts; p++ {
+		sz := q
+		if p < r {
+			sz++
+		}
+		out[p] = xs[lo : lo+sz]
+		lo += sz
+	}
+	return out
+}
+
+// BlockRange returns the [lo, hi) index range that block decomposition
+// assigns to rank r of size parts over n items.
+func BlockRange(n, parts, r int) (lo, hi int) {
+	q, rem := n/parts, n%parts
+	lo = r*q + min(r, rem)
+	hi = lo + q
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}

@@ -1,0 +1,35 @@
+package cluster
+
+// Probe reports whether a message matching (src, tag) is waiting, without
+// receiving it — MPI_Iprobe. src may be AnySource and tag AnyTag.
+func (c *Comm) Probe(src, tag int) bool {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for _, msg := range box.pending {
+		if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+			return true
+		}
+	}
+	return false
+}
+
+// TryRecv receives a matching message if one is already waiting; ok is
+// false when none is pending (it never blocks). The manager of a dynamic
+// farm can use it to poll between other duties.
+func TryRecv[T any](c *Comm, src, tag int) (v T, ok bool) {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	for i, msg := range box.pending {
+		if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+			box.pending = append(box.pending[:i], box.pending[i+1:]...)
+			box.mu.Unlock()
+			if msg.arrive > c.clock {
+				c.clock = msg.arrive
+			}
+			return msg.payload.(T), true
+		}
+	}
+	box.mu.Unlock()
+	return v, false
+}

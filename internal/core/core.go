@@ -1,0 +1,99 @@
+// Package core is the reproduction engine: it regenerates every exhibit of
+// the paper — Figures 1-4, Table 1, and the quantitative in-text claims
+// C1-C9 indexed in DESIGN.md — by driving the assignment packages with the
+// paper's parameters and writing artifacts (rasters, markdown tables,
+// text) into an output directory. `cmd/peachy repro` and the repository's
+// integration tests and benchmarks are thin wrappers around this package.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Exhibit is one reproducible artifact of the paper.
+type Exhibit struct {
+	// ID is the exhibit key: "fig1".."fig4", "table1", "c1".."c9".
+	ID string
+	// Title describes what the exhibit shows.
+	Title string
+	// Run regenerates the exhibit into outDir, returning a markdown
+	// summary. quick trades instance size for runtime.
+	Run func(outDir string, quick bool) (string, error)
+}
+
+// Exhibits returns the full registry in presentation order.
+func Exhibits() []Exhibit {
+	return []Exhibit{
+		{"fig1", "Figure 1: K-means clustering of a 2D dataset, K=3", Figure1KMeans},
+		{"fig2", "Figure 2: arrests per 100k per NTA heat map pipeline", Figure2NYCHeatMap},
+		{"table1", "Table 1: course survey results (archival)", Table1Survey},
+		{"fig3", "Figure 3: Nagel-Schreckenberg space-time diagram + no-randomness ablation", Figure3Traffic},
+		{"fig4", "Figure 4: ensemble uncertainty on ambiguous vs clean digits", Figure4Uncertainty},
+		{"c1", "C1: kNN runtime — sort vs heap vs parallel vs MapReduce", ClaimC1KNN},
+		{"c2", "C2: MapReduce combiner cuts communication", ClaimC2Combiner},
+		{"c3", "C3: K-means strategy ladder (critical/atomic/reduction)", ClaimC3KMeansStrategies},
+		{"c4", "C4: distributed K-means traffic = one Allreduce per iteration", ClaimC4KMeansDistributed},
+		{"c5", "C5: traffic output identical for any worker count", ClaimC5TrafficRepro},
+		{"c6", "C6: PRNG jump-ahead is O(log n)", ClaimC6JumpAhead},
+		{"c7", "C7: heat coforall avoids forall's per-step task spawning", ClaimC7Heat},
+		{"c8", "C8: task farming when ranks don't divide tasks", ClaimC8TaskFarm},
+		{"c9", "C9: OOD inputs carry higher predictive entropy", ClaimC9Uncertainty},
+	}
+}
+
+// AllExhibits returns the paper exhibits followed by the variation
+// exhibits (the paper's suggested extensions, DESIGN.md §4).
+func AllExhibits() []Exhibit {
+	return append(Exhibits(), Variations()...)
+}
+
+// Find returns the exhibit with the given id.
+func Find(id string) (Exhibit, bool) {
+	for _, e := range AllExhibits() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Exhibit{}, false
+}
+
+// RunAll regenerates every exhibit into outDir and writes an index file
+// (repro_report.md). quick shrinks instance sizes for CI-grade runtimes.
+func RunAll(outDir string, quick bool) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	var report strings.Builder
+	report.WriteString("# Reproduction report: Peachy Parallel Assignments (EduHPC 2023)\n\n")
+	fmt.Fprintf(&report, "Generated %s, quick=%v.\n\n", time.Now().Format(time.RFC3339), quick)
+	for _, e := range AllExhibits() {
+		summary, err := e.Run(outDir, quick)
+		if err != nil {
+			return fmt.Errorf("core: exhibit %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(&report, "## %s — %s\n\n%s\n\n", strings.ToUpper(e.ID), e.Title, summary)
+	}
+	return os.WriteFile(filepath.Join(outDir, "repro_report.md"), []byte(report.String()), 0o644)
+}
+
+// sortedKeys returns a map's keys in sorted order (deterministic reports).
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// timeIt runs f and returns its wall-clock seconds.
+func timeIt(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}

@@ -1,0 +1,181 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestExhibitRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range Exhibits() {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("incomplete exhibit %+v", e)
+		}
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+	}
+	for _, want := range []string{"fig1", "fig2", "fig3", "fig4", "table1", "c1", "c5", "c9"} {
+		if !ids[want] {
+			t.Errorf("missing exhibit %s", want)
+		}
+	}
+	if _, ok := Find("fig3"); !ok {
+		t.Error("Find failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find invented an exhibit")
+	}
+}
+
+func TestTable1MatchesPaperProse(t *testing.T) {
+	dir := t.TempDir()
+	summary, err := Table1Survey(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(summary, "MISMATCH") {
+		t.Errorf("archival table inconsistent with prose:\n%s", summary)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1_survey.md")); err != nil {
+		t.Error("table file not written")
+	}
+}
+
+func TestFigure1Quick(t *testing.T) {
+	dir := t.TempDir()
+	summary, err := Figure1KMeans(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "WCSS") {
+		t.Error("summary lacks quality metric")
+	}
+	fi, err := os.Stat(filepath.Join(dir, "fig1_kmeans.ppm"))
+	if err != nil || fi.Size() == 0 {
+		t.Error("scatter raster missing")
+	}
+}
+
+func TestFigure3Quick(t *testing.T) {
+	dir := t.TempDir()
+	summary, err := Figure3Traffic(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"fig3_traffic.pgm", "fig3_traffic_norandom.pgm"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("%s missing", f)
+		}
+	}
+	if !strings.Contains(summary, "jams") {
+		t.Error("summary lacks the jam statement")
+	}
+}
+
+func TestClaimC5Quick(t *testing.T) {
+	dir := t.TempDir()
+	summary, err := ClaimC5TrafficRepro(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "REPRODUCED") {
+		t.Errorf("C5 did not reproduce:\n%s", summary)
+	}
+}
+
+func TestClaimC6Quick(t *testing.T) {
+	dir := t.TempDir()
+	summary, err := ClaimC6JumpAhead(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "2^18") {
+		t.Error("C6 table incomplete")
+	}
+}
+
+func TestClaimC8Quick(t *testing.T) {
+	dir := t.TempDir()
+	summary, err := ClaimC8TaskFarm(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "dynamic") || !strings.Contains(summary, "static") {
+		t.Error("C8 modes missing")
+	}
+}
+
+func TestRunAllQuickComplete(t *testing.T) {
+	dir := t.TempDir()
+	if err := RunAll(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	report, err := os.ReadFile(filepath.Join(dir, "repro_report.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every registered exhibit must have a section.
+	for _, e := range AllExhibits() {
+		if !strings.Contains(string(report), strings.ToUpper(e.ID)+" — ") {
+			t.Errorf("report missing section for %s", e.ID)
+		}
+	}
+	if strings.Contains(string(report), "FAILED") {
+		t.Error("report contains FAILED")
+	}
+}
+
+func TestRunAllBadDir(t *testing.T) {
+	if err := RunAll("/dev/null/nope", true); err == nil {
+		t.Error("invalid out dir accepted")
+	}
+}
+
+func TestVariationV5Quick(t *testing.T) {
+	dir := t.TempDir()
+	summary, err := VariationV5OpenBoundaries(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(summary, "saturates") {
+		t.Error("V5 missing saturation statement")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "v5_open_boundaries.pgm")); err != nil {
+		t.Error("V5 chart missing")
+	}
+}
+
+func TestVariationV6Quick(t *testing.T) {
+	dir := t.TempDir()
+	summary, err := VariationV6ChooseK(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(summary, "MISMATCH") {
+		t.Errorf("V6 picked the wrong K:\n%s", summary)
+	}
+}
+
+func TestChecksAllPass(t *testing.T) {
+	passed, total, lines := RunChecks()
+	if passed != total {
+		for _, l := range lines {
+			t.Log(l)
+		}
+		t.Fatalf("%d/%d acceptance checks passed", passed, total)
+	}
+	if total < 10 {
+		t.Errorf("only %d checks registered", total)
+	}
+	ids := map[string]bool{}
+	for _, c := range Checks() {
+		if ids[c.ID] {
+			t.Errorf("duplicate check id %s", c.ID)
+		}
+		ids[c.ID] = true
+	}
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/dataio"
+	"repro/internal/ensemble"
+	"repro/internal/kmeans"
+	"repro/internal/mnistgen"
+	"repro/internal/nycgen"
+	"repro/internal/pipeline"
+	"repro/internal/prng"
+	"repro/internal/rdd"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/viz"
+)
+
+// Figure1KMeans regenerates Figure 1: a 2D point cloud clustered with
+// K = 3, rendered as a colored scatter plot (fig1_kmeans.ppm).
+func Figure1KMeans(outDir string, quick bool) (string, error) {
+	n := 3000
+	if quick {
+		n = 800
+	}
+	// Seed 123 places the three generating centers pairwise > 70 apart,
+	// so the exhibit shows the clean separation the paper's Figure 1
+	// illustrates; kmeans++ seeding avoids split-cluster local optima.
+	ds := dataio.GaussianMixture(123, n, 2, 3, 6.0)
+	res := kmeans.Run(ds.Points, kmeans.Options{K: 3, Seed: 11, Init: kmeans.PlusPlusInit})
+
+	xs := make([]float64, ds.Len())
+	ys := make([]float64, ds.Len())
+	for i, p := range ds.Points {
+		xs[i], ys[i] = p[0], p[1]
+	}
+	img := viz.ScatterRGB(480, 360, xs, ys, res.Assign, 3)
+	path := filepath.Join(outDir, "fig1_kmeans.ppm")
+	if err := viz.SaveRaster(path, img); err != nil {
+		return "", err
+	}
+
+	tb := stats.NewTable("", "cluster", "points", "centroid x", "centroid y")
+	counts := make([]int, 3)
+	for _, a := range res.Assign {
+		counts[a]++
+	}
+	for c := 0; c < 3; c++ {
+		tb.AddRow(c, counts[c], res.Centroids[c][0], res.Centroids[c][1])
+	}
+	return fmt.Sprintf("n=%d points, converged in %d iterations, WCSS=%.1f.\nScatter: %s\n\n%s",
+		n, res.Iterations, res.WCSS(ds.Points), path, tb.String()), nil
+}
+
+// Figure2NYCHeatMap regenerates Figure 2: the four synthetic NYC datasets
+// are exported, the rdd pipeline computes arrests per 100k per NTA, and
+// the spatial heat map is rasterised (fig2_nyc_heatmap.ppm).
+func Figure2NYCHeatMap(outDir string, quick bool) (string, error) {
+	historic, current := 80000, 40000
+	if quick {
+		historic, current = 8000, 4000
+	}
+	dataDir := filepath.Join(outDir, "nyc_data")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		return "", err
+	}
+	city := nycgen.NewCity(202, 10, 6)
+	if _, err := city.ExportAll(dataDir, 303, historic, current, 0.03); err != nil {
+		return "", err
+	}
+	ctx := rdd.NewContext()
+	rep, err := pipeline.CrimePipeline(ctx, dataDir, 8)
+	if err != nil {
+		return "", err
+	}
+	img := rep.RenderHeatMap(500, 300)
+	path := filepath.Join(outDir, "fig2_nyc_heatmap.ppm")
+	if err := viz.SaveRaster(path, img); err != nil {
+		return "", err
+	}
+
+	tb := stats.NewTable("Hottest NTAs (arrests per 100k)", "NTA", "rate")
+	for _, c := range rep.TopNTAs(5) {
+		tb.AddRow(c.Key, c.N)
+	}
+	return fmt.Sprintf(
+		"Rows: %d total, %d clean (%.1f%% dropped by cleaning), %d located in an NTA.\n"+
+			"Shuffles: %d; shuffled records: %d.\nHeat map: %s\n\n%s",
+		rep.TotalRows, rep.CleanRows,
+		100*float64(rep.TotalRows-rep.CleanRows)/float64(rep.TotalRows),
+		rep.LocatedRows, ctx.ShuffleCount(), ctx.ShuffledRecords(), path, tb.String()), nil
+}
+
+// table1Rows is the paper's archival survey data (Table 1): winter term,
+// exam count, survey count, positive items (total, project), negative
+// items (total, project). The table reports human survey results, so
+// reproduction means reprinting the archival numbers, not recomputation.
+var table1Rows = [][]int{
+	// exam, survey, posTotal, posProj, negTotal, negProj
+	{22, 11, 14, 8, 8, 4}, // 2022/23
+	{11, 12, 12, 3, 8, 1}, // 2021/22
+	{18, 9, 5, 2, 4, 0},   // 2020/21
+	{21, 11, 2, 0, 4, 0},  // 2019/20
+}
+
+var table1Terms = []string{"2022/23", "2021/22", "2020/21", "2019/20"}
+
+// Table1Survey reprints the archival survey table and verifies the
+// aggregate the paper quotes in prose ("Forty-three students contributed
+// 33 positive items about the course, 13 of them specifically about the
+// project").
+func Table1Survey(outDir string, _ bool) (string, error) {
+	tb := stats.NewTable("Survey results per winter term",
+		"Winter", "Exam", "Survey", "Pos. total", "Pos. proj.", "Neg. total", "Neg. proj.")
+	surveySum, posSum, posProjSum := 0, 0, 0
+	for i, row := range table1Rows {
+		tb.AddRow(table1Terms[i], row[0], row[1], row[2], row[3], row[4], row[5])
+		surveySum += row[1]
+		posSum += row[2]
+		posProjSum += row[3]
+	}
+	out := tb.String()
+	check := fmt.Sprintf(
+		"Cross-check against the paper's prose: %d survey respondents contributed %d positive items, %d about the project (paper: 43, 33, 13).",
+		surveySum, posSum, posProjSum)
+	if surveySum != 43 || posSum != 33 || posProjSum != 13 {
+		check += " MISMATCH!"
+	}
+	path := filepath.Join(outDir, "table1_survey.md")
+	if err := os.WriteFile(path, []byte(out+"\n"+check+"\n"), 0o644); err != nil {
+		return "", err
+	}
+	return out + "\n" + check, nil
+}
+
+// Figure3Traffic regenerates Figure 3: the space-time diagram of the
+// Nagel-Schreckenberg model with the paper's exact parameters (200 cars,
+// road length 1000, p=0.13, vmax=5), plus the no-randomness ablation in
+// which jams do not occur.
+func Figure3Traffic(outDir string, quick bool) (string, error) {
+	steps := 500
+	if quick {
+		steps = 150
+	}
+	cfg := traffic.Config{Cars: 200, RoadLen: 1000, VMax: 5, P: 0.13, Seed: 2023}
+
+	render := func(mode traffic.RNGMode, name string) (string, int, error) {
+		rows, err := traffic.SpaceTime(cfg, steps, mode)
+		if err != nil {
+			return "", 0, err
+		}
+		img := viz.NewGray(cfg.RoadLen, len(rows))
+		slowCells := 0
+		for t, row := range rows {
+			for x, v := range row {
+				switch {
+				case v == 0:
+					img.Set(x, t, 255) // empty
+				case v <= 2: // stopped or crawling: jam
+					img.Set(x, t, 0)
+					slowCells++
+				default:
+					img.Set(x, t, uint8(40*v))
+				}
+			}
+		}
+		path := filepath.Join(outDir, name)
+		if err := viz.SaveRaster(path, img); err != nil {
+			return "", 0, err
+		}
+		return path, slowCells, nil
+	}
+
+	randPath, randSlow, err := render(traffic.SharedSequence, "fig3_traffic.pgm")
+	if err != nil {
+		return "", err
+	}
+	detPath, detSlow, err := render(traffic.NoRandom, "fig3_traffic_norandom.pgm")
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf(
+		"Parameters: 200 cars, road 1000, p=0.13, vmax=5, %d steps.\n"+
+			"Randomized: %s — %d slow-car cells (jams visible).\n"+
+			"No randomness: %s — %d slow-car cells after warmup (paper: jams do not occur).",
+		steps, randPath, randSlow, detPath, detSlow), nil
+}
+
+// Figure4Uncertainty regenerates Figure 4: an ensemble trained on
+// synthetic digits reports a prediction and an uncertainty for (a) an
+// ambiguous 4/9 blend and (b) a clean digit; the ambiguous input must
+// carry the higher uncertainty.
+func Figure4Uncertainty(outDir string, quick bool) (string, error) {
+	trainN, members := 3000, 8
+	if quick {
+		trainN, members = 900, 4
+	}
+	ds := mnistgen.Generate(404, trainN)
+	train, val := ds.Split(trainN * 4 / 5)
+	cfgs := ensemble.Grid(
+		[][]int{{24}, {32}},
+		[]float64{0.1, 0.05},
+		[]float64{0.9, 0.5},
+		6, 32, 505)[:members]
+	ens := ensemble.Train(train, val, cfgs, 0)
+
+	r := prng.New(606)
+	ambiguous := mnistgen.Ambiguous(4, 9, r)
+	clean := mnistgen.Render(4, r)
+	ca, ua := ens.Predict(ambiguous)
+	cc, uc := ens.Predict(clean)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ensemble of %d nets (val accuracy of best member: %.3f).\n\n", members, ens.Best().ValAccuracy)
+	fmt.Fprintf(&b, "A) Ambiguous 4/9 blend -> predicted %d, uncertainty %.3f nats\n%s\n", ca, ua, mnistgen.Ascii(ambiguous))
+	fmt.Fprintf(&b, "B) Clean 4            -> predicted %d, uncertainty %.3f nats\n%s\n", cc, uc, mnistgen.Ascii(clean))
+	if ua > uc {
+		fmt.Fprintf(&b, "As in the paper: the ambiguous input is the uncertain one (%.3f > %.3f).", ua, uc)
+	} else {
+		fmt.Fprintf(&b, "WARNING: ambiguous input not more uncertain (%.3f <= %.3f).", ua, uc)
+	}
+	path := filepath.Join(outDir, "fig4_uncertainty.txt")
+	if err := os.WriteFile(path, []byte(b.String()+"\n"), 0o644); err != nil {
+		return "", err
+	}
+	return b.String(), nil
+}

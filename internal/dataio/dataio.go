@@ -1,0 +1,226 @@
+// Package dataio handles the datasets the assignments consume: labelled
+// d-dimensional point sets in CSV form (the datahub.io classification
+// instances the kNN assignment points at), and seeded synthetic
+// Gaussian-mixture generators that stand in for them offline.
+package dataio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/prng"
+)
+
+// Dataset is a labelled point set: n points in d dimensions, each with an
+// integer class in [0, Classes).
+type Dataset struct {
+	Dim     int
+	Classes int
+	Points  [][]float64
+	Labels  []int
+}
+
+// Len returns the number of points.
+func (d *Dataset) Len() int { return len(d.Points) }
+
+// Validate checks internal consistency and returns a descriptive error.
+func (d *Dataset) Validate() error {
+	if len(d.Points) != len(d.Labels) {
+		return fmt.Errorf("dataio: %d points but %d labels", len(d.Points), len(d.Labels))
+	}
+	for i, p := range d.Points {
+		if len(p) != d.Dim {
+			return fmt.Errorf("dataio: point %d has dim %d, want %d", i, len(p), d.Dim)
+		}
+	}
+	for i, l := range d.Labels {
+		if l < 0 || l >= d.Classes {
+			return fmt.Errorf("dataio: label %d out of range at %d", l, i)
+		}
+	}
+	return nil
+}
+
+// Split partitions the dataset into a training set of n points and a test
+// set of the rest, preserving order (callers shuffle first if desired).
+func (d *Dataset) Split(n int) (train, test *Dataset) {
+	if n > d.Len() {
+		n = d.Len()
+	}
+	train = &Dataset{Dim: d.Dim, Classes: d.Classes, Points: d.Points[:n], Labels: d.Labels[:n]}
+	test = &Dataset{Dim: d.Dim, Classes: d.Classes, Points: d.Points[n:], Labels: d.Labels[n:]}
+	return train, test
+}
+
+// Shuffle permutes points and labels together using the given generator.
+func (d *Dataset) Shuffle(r *prng.Rand) {
+	for i := d.Len() - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		d.Points[i], d.Points[j] = d.Points[j], d.Points[i]
+		d.Labels[i], d.Labels[j] = d.Labels[j], d.Labels[i]
+	}
+}
+
+// Standardize shifts and scales every dimension in place to zero mean and
+// unit variance (constant dimensions are left centered). Returns the
+// receiver for chaining. Neural-network training expects standardized
+// inputs.
+func (d *Dataset) Standardize() *Dataset {
+	n := d.Len()
+	if n == 0 {
+		return d
+	}
+	for j := 0; j < d.Dim; j++ {
+		mean := 0.0
+		for _, p := range d.Points {
+			mean += p[j]
+		}
+		mean /= float64(n)
+		variance := 0.0
+		for _, p := range d.Points {
+			diff := p[j] - mean
+			variance += diff * diff
+		}
+		std := math.Sqrt(variance / float64(n))
+		for _, p := range d.Points {
+			p[j] -= mean
+			if std > 0 {
+				p[j] /= std
+			}
+		}
+	}
+	return d
+}
+
+// GaussianMixture generates n points in dim dimensions from k Gaussian
+// clusters with the given spread; point i's label is its generating
+// cluster. Cluster centers are drawn uniformly in [0, 100)^dim. It is the
+// offline stand-in for the assignment's "input point clouds of different
+// sizes and dimensions" (paper §3) and classification instances (§2).
+func GaussianMixture(seed uint64, n, dim, k int, spread float64) *Dataset {
+	r := prng.New(seed)
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, dim)
+		for j := range centers[c] {
+			centers[c][j] = r.Range(0, 100)
+		}
+	}
+	ds := &Dataset{Dim: dim, Classes: k,
+		Points: make([][]float64, n), Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		c := r.Intn(k)
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = r.Norm(centers[c][j], spread)
+		}
+		ds.Points[i] = p
+		ds.Labels[i] = c
+	}
+	return ds
+}
+
+// WriteCSV serialises the dataset as "x1,...,xd,label" rows with a header.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for j := 0; j < d.Dim; j++ {
+		fmt.Fprintf(bw, "x%d,", j)
+	}
+	fmt.Fprintln(bw, "label")
+	for i, p := range d.Points {
+		for _, v := range p {
+			fmt.Fprintf(bw, "%g,", v)
+		}
+		fmt.Fprintf(bw, "%d\n", d.Labels[i])
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a dataset written by WriteCSV (or any CSV whose final
+// column is an integer class and whose other columns are floats). A first
+// row that fails to parse as numbers is treated as a header.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	ds := &Dataset{}
+	line := 0
+	maxLabel := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataio: line %d: need at least 2 columns", line)
+		}
+		vals := make([]float64, len(fields)-1)
+		ok := true
+		for j := 0; j < len(fields)-1; j++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[j]), 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			vals[j] = v
+		}
+		label := 0
+		if ok {
+			l, err := strconv.Atoi(strings.TrimSpace(fields[len(fields)-1]))
+			if err != nil {
+				ok = false
+			}
+			label = l
+		}
+		if !ok {
+			if len(ds.Points) == 0 && line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("dataio: line %d: unparseable row %q", line, text)
+		}
+		if ds.Dim == 0 {
+			ds.Dim = len(vals)
+		} else if len(vals) != ds.Dim {
+			return nil, fmt.Errorf("dataio: line %d: dim %d, want %d", line, len(vals), ds.Dim)
+		}
+		if label < 0 {
+			return nil, fmt.Errorf("dataio: line %d: negative label", line)
+		}
+		if label > maxLabel {
+			maxLabel = label
+		}
+		ds.Points = append(ds.Points, vals)
+		ds.Labels = append(ds.Labels, label)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	ds.Classes = maxLabel + 1
+	return ds, nil
+}
+
+// SaveCSV writes the dataset to a file.
+func (d *Dataset) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return d.WriteCSV(f)
+}
+
+// LoadCSV reads a dataset from a file.
+func LoadCSV(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

@@ -1,0 +1,58 @@
+package dataio
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the CSV parser with arbitrary input: it must never
+// panic, and any dataset it accepts must be internally consistent.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("x0,x1,label\n1.5,2.5,0\n3.5,4.5,1\n")
+	f.Add("1,2,0\n")
+	f.Add("")
+	f.Add("a,b\n")
+	f.Add("1,2,0\n\n3,4,1\n")
+	f.Add("1e308,2e-308,3\n")
+	f.Add("nan,inf,0\n")
+	f.Add(strings.Repeat("9,", 100) + "1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		ds, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := ds.Validate(); verr != nil {
+			t.Fatalf("accepted inconsistent dataset: %v\ninput: %q", verr, input)
+		}
+	})
+}
+
+// FuzzParallelMatchesSerial feeds both loaders the same bytes; wherever
+// both succeed they must agree on the row count.
+func FuzzParallelMatchesSerial(f *testing.F) {
+	f.Add("1,2,0\n3,4,1\n5,6,0\n", uint8(3))
+	f.Add("x,y,label\n1,2,0\n", uint8(2))
+	f.Fuzz(func(t *testing.T, input string, readers uint8) {
+		dir := t.TempDir()
+		path := dir + "/f.csv"
+		if err := writeFile(path, input); err != nil {
+			t.Skip()
+		}
+		serial, serr := LoadCSV(path)
+		par, perr := LoadCSVParallel(path, int(readers%8)+1)
+		if (serr == nil) != (perr == nil) {
+			// The serial reader's header heuristic is position-based, so
+			// the two loaders may disagree on acceptance of pathological
+			// first lines; they must never both accept and then differ.
+			return
+		}
+		if serr == nil && serial.Len() != par.Len() {
+			t.Fatalf("row counts differ: %d vs %d for %q", serial.Len(), par.Len(), input)
+		}
+	})
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,117 @@
+package dataio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestLoadCSVParallelMatchesSerial(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.csv")
+	ds := GaussianMixture(8, 2000, 5, 4, 2.0)
+	if err := ds.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, readers := range []int{1, 2, 3, 7, 16} {
+		par, err := LoadCSVParallel(path, readers)
+		if err != nil {
+			t.Fatalf("readers=%d: %v", readers, err)
+		}
+		if par.Len() != serial.Len() || par.Dim != serial.Dim || par.Classes != serial.Classes {
+			t.Fatalf("readers=%d shape %d/%d/%d vs %d/%d/%d", readers,
+				par.Len(), par.Dim, par.Classes, serial.Len(), serial.Dim, serial.Classes)
+		}
+		for i := range serial.Points {
+			if linalg.SqDist(par.Points[i], serial.Points[i]) != 0 || par.Labels[i] != serial.Labels[i] {
+				t.Fatalf("readers=%d row %d differs", readers, i)
+			}
+		}
+	}
+}
+
+func TestLoadCSVParallelProperty(t *testing.T) {
+	// Any reader count yields the same dataset as serial for any size.
+	dir := t.TempDir()
+	f := func(n uint8, readers uint8) bool {
+		nn := int(n%50) + 1
+		rr := int(readers%9) + 1
+		path := filepath.Join(dir, "p.csv")
+		ds := GaussianMixture(uint64(n)+1, nn, 3, 2, 1.0)
+		if err := ds.SaveCSV(path); err != nil {
+			return false
+		}
+		a, err := LoadCSV(path)
+		if err != nil {
+			return false
+		}
+		b, err := LoadCSVParallel(path, rr)
+		if err != nil {
+			return false
+		}
+		if a.Len() != b.Len() {
+			return false
+		}
+		for i := range a.Points {
+			if a.Labels[i] != b.Labels[i] || linalg.SqDist(a.Points[i], b.Points[i]) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadCSVParallelEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.csv")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadCSVParallel(empty, 4)
+	if err != nil || ds.Len() != 0 {
+		t.Errorf("empty file: %v len %d", err, ds.Len())
+	}
+
+	noNL := filepath.Join(dir, "nonl.csv")
+	if err := os.WriteFile(noNL, []byte("1,2,0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err = LoadCSVParallel(noNL, 3)
+	if err != nil || ds.Len() != 1 {
+		t.Errorf("no trailing newline: %v len %d", err, ds.Len())
+	}
+
+	if _, err := LoadCSVParallel(filepath.Join(dir, "missing.csv"), 2); err == nil {
+		t.Error("missing file not reported")
+	}
+
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("1,2,0\nnot,a,row\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCSVParallel(bad, 2); err == nil {
+		t.Error("bad row not reported")
+	}
+}
+
+func TestLoadCSVParallelMoreReadersThanBytes(t *testing.T) {
+	dir := t.TempDir()
+	tiny := filepath.Join(dir, "tiny.csv")
+	if err := os.WriteFile(tiny, []byte("5,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := LoadCSVParallel(tiny, 64)
+	if err != nil || ds.Len() != 1 {
+		t.Errorf("tiny file: %v len %d", err, ds.Len())
+	}
+}

@@ -1,0 +1,213 @@
+// Package ensemble implements the hyper-parameter-optimisation assignment
+// (paper §7): M neural networks are trained independently — the free
+// by-product of an HPO sweep — and their softmax outputs are averaged into
+// a deep ensemble whose predictive entropy quantifies uncertainty. The
+// training tasks are distributed over cluster ranks with the taskfarm
+// (static or dynamic), exercising the assignment's PDC concept of mapping
+// M tasks onto P nodes when P does not divide M.
+package ensemble
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dataio"
+	"repro/internal/linalg"
+	"repro/internal/nn"
+	"repro/internal/par"
+	"repro/internal/stats"
+	"repro/internal/taskfarm"
+)
+
+// Member is one trained ensemble member with its HPO metrics.
+type Member struct {
+	Cfg         nn.Config
+	Net         *nn.Network
+	TrainLoss   float64
+	ValAccuracy float64
+}
+
+// Ensemble is a set of trained members whose predictions are aggregated
+// by averaging predicted probabilities (the paper's aggregation rule).
+type Ensemble struct {
+	Members []Member
+}
+
+// Grid enumerates the hyper-parameter grid: the cross product of hidden
+// layouts, learning rates and momenta, with seeds derived from baseSeed so
+// every member differs. Epochs and batch apply to all configs.
+func Grid(hidden [][]int, lrs, moms []float64, epochs, batch int, baseSeed uint64) []nn.Config {
+	var out []nn.Config
+	i := uint64(0)
+	for _, h := range hidden {
+		for _, lr := range lrs {
+			for _, m := range moms {
+				out = append(out, nn.Config{
+					Hidden: h, Act: nn.ReLU, LR: lr, Momentum: m,
+					Batch: batch, Epochs: epochs, Seed: baseSeed + 1000*i,
+				})
+				i++
+			}
+		}
+	}
+	return out
+}
+
+// trainOne fits one config and scores it on the validation set.
+func trainOne(train, val *dataio.Dataset, cfg nn.Config) Member {
+	net := nn.New(train.Dim, train.Classes, cfg)
+	loss := net.Fit(train)
+	return Member{Cfg: cfg, Net: net, TrainLoss: loss, ValAccuracy: net.Evaluate(val)}
+}
+
+// Train fits every config in parallel with shared-memory workers and
+// returns the ensemble ordered as given.
+func Train(train, val *dataio.Dataset, cfgs []nn.Config, workers int) *Ensemble {
+	members := make([]Member, len(cfgs))
+	par.For(len(cfgs), workers, func(i int) {
+		members[i] = trainOne(train, val, cfgs[i])
+	})
+	return &Ensemble{Members: members}
+}
+
+// TrainDistributed fits the configs as independent tasks over the ranks
+// of world (the MPI4Py formulation). mode Static uses block assignment;
+// Dynamic uses the manager-worker farm. The ensemble and the per-rank
+// load report are returned (valid on the caller; the world is run
+// internally).
+func TrainDistributed(world *cluster.World, train, val *dataio.Dataset, cfgs []nn.Config, dynamic bool) (*Ensemble, taskfarm.Report, error) {
+	var members []Member
+	var report taskfarm.Report
+	err := world.Run(func(c *cluster.Comm) {
+		exec := func(task int) Member { return trainOne(train, val, cfgs[task]) }
+		var res []Member
+		var rep taskfarm.Report
+		if dynamic {
+			res, rep = taskfarm.RunDynamic(c, len(cfgs), exec)
+		} else {
+			res, rep = taskfarm.RunStatic(c, len(cfgs), taskfarm.Block, exec)
+		}
+		if c.Rank() == 0 {
+			members = res
+			report = rep
+		}
+	})
+	if err != nil {
+		return nil, taskfarm.Report{}, err
+	}
+	if members == nil {
+		return nil, taskfarm.Report{}, fmt.Errorf("ensemble: no results gathered")
+	}
+	return &Ensemble{Members: members}, report, nil
+}
+
+// Top returns a new ensemble of the m members with the best validation
+// accuracy — "we use the best-performing models".
+func (e *Ensemble) Top(m int) *Ensemble {
+	sorted := append([]Member(nil), e.Members...)
+	sort.SliceStable(sorted, func(a, b int) bool {
+		return sorted[a].ValAccuracy > sorted[b].ValAccuracy
+	})
+	if m > len(sorted) {
+		m = len(sorted)
+	}
+	return &Ensemble{Members: sorted[:m]}
+}
+
+// Best returns the member with the highest validation accuracy — the HPO
+// winner.
+func (e *Ensemble) Best() Member {
+	best := e.Members[0]
+	for _, m := range e.Members[1:] {
+		if m.ValAccuracy > best.ValAccuracy {
+			best = m
+		}
+	}
+	return best
+}
+
+// Probs returns the ensemble's averaged class probabilities for input x.
+func (e *Ensemble) Probs(x []float64) []float64 {
+	if len(e.Members) == 0 {
+		panic("ensemble: empty ensemble")
+	}
+	var avg []float64
+	for _, m := range e.Members {
+		p := m.Net.ProbsOne(x)
+		if avg == nil {
+			avg = make([]float64, len(p))
+		}
+		for i, v := range p {
+			avg[i] += v
+		}
+	}
+	for i := range avg {
+		avg[i] /= float64(len(e.Members))
+	}
+	return avg
+}
+
+// Predict returns the ensemble's class and its predictive entropy (nats):
+// the uncertainty value Figure 4 reports next to each prediction.
+func (e *Ensemble) Predict(x []float64) (class int, uncertainty float64) {
+	p := e.Probs(x)
+	return linalg.Argmax(p), stats.Entropy(p)
+}
+
+// Evaluate returns the ensemble's accuracy on a dataset.
+func (e *Ensemble) Evaluate(ds *dataio.Dataset) float64 {
+	pred := make([]int, ds.Len())
+	for i, x := range ds.Points {
+		pred[i], _ = e.Predict(x)
+	}
+	return stats.Accuracy(pred, ds.Labels)
+}
+
+// MeanUncertainty returns the average predictive entropy over a dataset —
+// the statistic that separates in-distribution from OOD inputs (C9).
+func (e *Ensemble) MeanUncertainty(ds *dataio.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range ds.Points {
+		_, u := e.Predict(x)
+		sum += u
+	}
+	return sum / float64(ds.Len())
+}
+
+// TrainWithCulling is the assignment's suggested variation: train every
+// config for probeEpochs, kill the worst cullFrac fraction (reassigning
+// their resources), then continue the survivors for the remaining epochs.
+// Returns the surviving ensemble.
+func TrainWithCulling(train, val *dataio.Dataset, cfgs []nn.Config, workers, probeEpochs int, cullFrac float64) *Ensemble {
+	if probeEpochs < 1 {
+		probeEpochs = 1
+	}
+	// Phase 1: probe.
+	probeCfgs := make([]nn.Config, len(cfgs))
+	for i, c := range cfgs {
+		c.Epochs = probeEpochs
+		probeCfgs[i] = c
+	}
+	probe := Train(train, val, probeCfgs, workers)
+
+	// Cull: keep the best (1-cullFrac) fraction.
+	keep := len(cfgs) - int(float64(len(cfgs))*cullFrac)
+	if keep < 1 {
+		keep = 1
+	}
+	survivors := probe.Top(keep)
+
+	// Phase 2: retrain survivors with full budgets (fresh fit keeps each
+	// member reproducible from its config alone).
+	finalCfgs := make([]nn.Config, len(survivors.Members))
+	for i, m := range survivors.Members {
+		c := m.Cfg
+		c.Epochs = cfgs[0].Epochs
+		finalCfgs[i] = c
+	}
+	return Train(train, val, finalCfgs, workers)
+}

@@ -1,0 +1,251 @@
+package ensemble
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataio"
+	"repro/internal/mnistgen"
+	"repro/internal/nn"
+	"repro/internal/prng"
+)
+
+// digitData returns small train/val/test splits of synthetic digits.
+func digitData(t *testing.T) (train, val *dataio.Dataset) {
+	t.Helper()
+	ds := mnistgen.Generate(100, 900)
+	train, val = ds.Split(700)
+	return train, val
+}
+
+func smallGrid(m int) []nn.Config {
+	cfgs := Grid([][]int{{16}, {24}}, []float64{0.1, 0.05}, []float64{0.9, 0.5}, 3, 32, 7)
+	return cfgs[:m]
+}
+
+func TestGridSize(t *testing.T) {
+	cfgs := Grid([][]int{{8}, {16}, {32}}, []float64{0.1, 0.01}, []float64{0, 0.9}, 5, 32, 1)
+	if len(cfgs) != 12 {
+		t.Fatalf("grid size %d", len(cfgs))
+	}
+	seeds := map[uint64]bool{}
+	for _, c := range cfgs {
+		if seeds[c.Seed] {
+			t.Fatal("duplicate seed in grid")
+		}
+		seeds[c.Seed] = true
+		if c.Epochs != 5 || c.Batch != 32 {
+			t.Error("epochs/batch not applied")
+		}
+	}
+}
+
+func TestTrainAndEvaluate(t *testing.T) {
+	train, val := digitData(t)
+	e := Train(train, val, smallGrid(4), 2)
+	if len(e.Members) != 4 {
+		t.Fatalf("members %d", len(e.Members))
+	}
+	for i, m := range e.Members {
+		if m.Net == nil {
+			t.Fatalf("member %d untrained", i)
+		}
+		if m.ValAccuracy < 0.5 {
+			t.Errorf("member %d val accuracy %v", i, m.ValAccuracy)
+		}
+	}
+	if acc := e.Evaluate(val); acc < 0.7 {
+		t.Errorf("ensemble accuracy %v", acc)
+	}
+}
+
+func TestEnsembleAtLeastAsGoodAsWorstMember(t *testing.T) {
+	train, val := digitData(t)
+	e := Train(train, val, smallGrid(4), 2)
+	worst := 1.0
+	for _, m := range e.Members {
+		if m.ValAccuracy < worst {
+			worst = m.ValAccuracy
+		}
+	}
+	if acc := e.Evaluate(val); acc < worst-0.05 {
+		t.Errorf("ensemble %v much worse than worst member %v", acc, worst)
+	}
+}
+
+func TestProbsAverageToDistribution(t *testing.T) {
+	train, val := digitData(t)
+	e := Train(train, val, smallGrid(3), 2)
+	p := e.Probs(val.Points[0])
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 || v > 1 {
+			t.Fatal("probability out of range")
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probs sum %v", sum)
+	}
+}
+
+func TestTopAndBest(t *testing.T) {
+	e := &Ensemble{Members: []Member{
+		{ValAccuracy: 0.5}, {ValAccuracy: 0.9}, {ValAccuracy: 0.7},
+	}}
+	if b := e.Best(); b.ValAccuracy != 0.9 {
+		t.Errorf("best %v", b.ValAccuracy)
+	}
+	top := e.Top(2)
+	if len(top.Members) != 2 || top.Members[0].ValAccuracy != 0.9 || top.Members[1].ValAccuracy != 0.7 {
+		t.Errorf("top2 %v", top.Members)
+	}
+	if len(e.Top(10).Members) != 3 {
+		t.Error("Top over-clamp")
+	}
+}
+
+func TestUncertaintySeparatesOOD(t *testing.T) {
+	// C9: corrupted inputs must carry higher predictive entropy than
+	// clean ones.
+	train, val := digitData(t)
+	e := Train(train, val, smallGrid(4), 2)
+	clean := mnistgen.Generate(555, 150)
+	ood := mnistgen.GenerateOOD(555, 150)
+	uClean := e.MeanUncertainty(clean)
+	uOOD := e.MeanUncertainty(ood)
+	if uOOD <= uClean {
+		t.Errorf("OOD uncertainty %v not above clean %v", uOOD, uClean)
+	}
+}
+
+func TestAmbiguousInputMoreUncertain(t *testing.T) {
+	// Figure 4: a 4/9 blend must be more uncertain than a clean digit.
+	train, val := digitData(t)
+	e := Train(train, val, smallGrid(4), 2)
+	r := prng.New(9)
+	var ambig, clean float64
+	const trials = 20
+	for i := 0; i < trials; i++ {
+		_, ua := e.Predict(mnistgen.Ambiguous(4, 9, r))
+		_, uc := e.Predict(mnistgen.Render(7, r))
+		ambig += ua / trials
+		clean += uc / trials
+	}
+	if ambig <= clean {
+		t.Errorf("ambiguous %v not above clean %v", ambig, clean)
+	}
+}
+
+func TestTrainDistributedMatchesLocal(t *testing.T) {
+	train, val := digitData(t)
+	cfgs := smallGrid(5)
+	local := Train(train, val, cfgs, 2)
+	for _, p := range []int{1, 3, 4} {
+		for _, dynamic := range []bool{false, true} {
+			world := cluster.NewWorld(p)
+			dist, rep, err := TrainDistributed(world, train, val, cfgs, dynamic)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dist.Members) != len(cfgs) {
+				t.Fatalf("P=%d dyn=%v members %d", p, dynamic, len(dist.Members))
+			}
+			total := 0
+			for _, n := range rep.PerRank {
+				total += n
+			}
+			if total != len(cfgs) {
+				t.Errorf("P=%d dyn=%v report total %d", p, dynamic, total)
+			}
+			// Training is deterministic per config, so accuracies match
+			// regardless of which rank trained which model.
+			for i := range cfgs {
+				if dist.Members[i].ValAccuracy != local.Members[i].ValAccuracy {
+					t.Errorf("P=%d dyn=%v member %d accuracy differs", p, dynamic, i)
+				}
+			}
+		}
+	}
+}
+
+func TestTrainWithCulling(t *testing.T) {
+	train, val := digitData(t)
+	cfgs := smallGrid(6)
+	e := TrainWithCulling(train, val, cfgs, 2, 1, 0.5)
+	if len(e.Members) != 3 {
+		t.Fatalf("survivors %d, want 3", len(e.Members))
+	}
+	for _, m := range e.Members {
+		if m.Cfg.Epochs != cfgs[0].Epochs {
+			t.Error("survivor not retrained with full epochs")
+		}
+	}
+	if acc := e.Evaluate(val); acc < 0.6 {
+		t.Errorf("culled ensemble accuracy %v", acc)
+	}
+}
+
+func TestEmptyEnsemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty ensemble Probs did not panic")
+		}
+	}()
+	(&Ensemble{}).Probs([]float64{1})
+}
+
+func TestMeanUncertaintyEmptyDataset(t *testing.T) {
+	e := &Ensemble{Members: []Member{{}}}
+	if e.MeanUncertainty(&dataio.Dataset{}) != 0 {
+		t.Error("empty dataset uncertainty")
+	}
+}
+
+func TestTrainWithMonitorTrajectories(t *testing.T) {
+	train, val := digitData(t)
+	cfgs := smallGrid(3)
+	e, trajs := TrainWithMonitor(train, val, cfgs, 2, 0)
+	if len(trajs) != 3 || len(e.Members) != 3 {
+		t.Fatalf("sizes %d %d", len(trajs), len(e.Members))
+	}
+	for i, tr := range trajs {
+		if len(tr.ValAccuracy) != cfgs[i].Epochs {
+			t.Errorf("member %d recorded %d epochs, want %d", i, len(tr.ValAccuracy), cfgs[i].Epochs)
+		}
+		if tr.FinalAccuracy() != e.Members[i].ValAccuracy {
+			t.Errorf("member %d trajectory final %v != member accuracy %v",
+				i, tr.FinalAccuracy(), e.Members[i].ValAccuracy)
+		}
+		// Accuracy should broadly improve from first to last epoch.
+		if tr.ValAccuracy[len(tr.ValAccuracy)-1] < tr.ValAccuracy[0]-0.05 {
+			t.Errorf("member %d accuracy regressed: %v", i, tr.ValAccuracy)
+		}
+	}
+}
+
+func TestTrainWithMonitorEarlyStop(t *testing.T) {
+	train, val := digitData(t)
+	cfgs := smallGrid(2)
+	// A reachable target must cut training short for at least one member.
+	_, trajs := TrainWithMonitor(train, val, cfgs, 2, 0.8)
+	stopped := false
+	for i, tr := range trajs {
+		if len(tr.ValAccuracy) < cfgs[i].Epochs {
+			stopped = true
+			if tr.FinalAccuracy() < 0.8 {
+				t.Errorf("member %d stopped below target: %v", i, tr.FinalAccuracy())
+			}
+		}
+	}
+	if !stopped {
+		t.Log("no member reached 0.8 early; acceptable but unexpected")
+	}
+}
+
+func TestTrajectoryEmpty(t *testing.T) {
+	if (Trajectory{}).FinalAccuracy() != 0 {
+		t.Error("empty trajectory accuracy")
+	}
+}

@@ -1,0 +1,49 @@
+package ensemble
+
+import (
+	"repro/internal/dataio"
+	"repro/internal/nn"
+	"repro/internal/par"
+)
+
+// Trajectory records a member's validation accuracy after every epoch —
+// the assignment's "check the accuracy of the model at regular intervals"
+// variation (paper §7).
+type Trajectory struct {
+	Cfg nn.Config
+	// ValAccuracy[e] is the accuracy after epoch e.
+	ValAccuracy []float64
+	// Loss[e] is the mean training loss of epoch e.
+	Loss []float64
+}
+
+// FinalAccuracy returns the last recorded accuracy (0 if none).
+func (t Trajectory) FinalAccuracy() float64 {
+	if len(t.ValAccuracy) == 0 {
+		return 0
+	}
+	return t.ValAccuracy[len(t.ValAccuracy)-1]
+}
+
+// TrainWithMonitor trains every config while recording per-epoch
+// validation accuracy, and optionally stops a member early once its
+// accuracy reaches target (target <= 0 disables early stopping). Returns
+// the ensemble and the per-member trajectories.
+func TrainWithMonitor(train, val *dataio.Dataset, cfgs []nn.Config, workers int, target float64) (*Ensemble, []Trajectory) {
+	members := make([]Member, len(cfgs))
+	trajectories := make([]Trajectory, len(cfgs))
+	par.For(len(cfgs), workers, func(i int) {
+		cfg := cfgs[i]
+		net := nn.New(train.Dim, train.Classes, cfg)
+		traj := Trajectory{Cfg: cfg}
+		loss := net.FitWithCallback(train, func(epoch int, meanLoss float64) bool {
+			acc := net.Evaluate(val)
+			traj.ValAccuracy = append(traj.ValAccuracy, acc)
+			traj.Loss = append(traj.Loss, meanLoss)
+			return target <= 0 || acc < target
+		})
+		members[i] = Member{Cfg: cfg, Net: net, TrainLoss: loss, ValAccuracy: traj.FinalAccuracy()}
+		trajectories[i] = traj
+	})
+	return &Ensemble{Members: members}, trajectories
+}

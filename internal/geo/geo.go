@@ -1,0 +1,148 @@
+// Package geo provides the computational geometry the data-science
+// pipeline needs (paper §4, Figure 2): polygons with ray-casting
+// point-in-polygon tests, and a bounding-box-filtered spatial index that
+// assigns event coordinates (arrests) to containing regions (NTAs).
+package geo
+
+import "fmt"
+
+// Point is a 2D coordinate (lon/lat order: X east, Y north).
+type Point struct {
+	X, Y float64
+}
+
+// Polygon is a simple polygon; the vertex ring is implicitly closed.
+type Polygon struct {
+	Verts []Point
+}
+
+// BBox returns the axis-aligned bounding box.
+func (p Polygon) BBox() (minX, minY, maxX, maxY float64) {
+	if len(p.Verts) == 0 {
+		return 0, 0, 0, 0
+	}
+	minX, maxX = p.Verts[0].X, p.Verts[0].X
+	minY, maxY = p.Verts[0].Y, p.Verts[0].Y
+	for _, v := range p.Verts[1:] {
+		if v.X < minX {
+			minX = v.X
+		}
+		if v.X > maxX {
+			maxX = v.X
+		}
+		if v.Y < minY {
+			minY = v.Y
+		}
+		if v.Y > maxY {
+			maxY = v.Y
+		}
+	}
+	return minX, minY, maxX, maxY
+}
+
+// Contains reports whether pt is inside the polygon (ray casting; points
+// exactly on an edge may land on either side, which is acceptable for
+// aggregation work).
+func (p Polygon) Contains(pt Point) bool {
+	n := len(p.Verts)
+	if n < 3 {
+		return false
+	}
+	inside := false
+	j := n - 1
+	for i := 0; i < n; i++ {
+		vi, vj := p.Verts[i], p.Verts[j]
+		if (vi.Y > pt.Y) != (vj.Y > pt.Y) {
+			xCross := (vj.X-vi.X)*(pt.Y-vi.Y)/(vj.Y-vi.Y) + vi.X
+			if pt.X < xCross {
+				inside = !inside
+			}
+		}
+		j = i
+	}
+	return inside
+}
+
+// Area returns the polygon's area (shoelace formula, absolute value).
+func (p Polygon) Area() float64 {
+	n := len(p.Verts)
+	if n < 3 {
+		return 0
+	}
+	s := 0.0
+	j := n - 1
+	for i := 0; i < n; i++ {
+		s += (p.Verts[j].X + p.Verts[i].X) * (p.Verts[j].Y - p.Verts[i].Y)
+		j = i
+	}
+	if s < 0 {
+		s = -s
+	}
+	return s / 2
+}
+
+// Centroid returns the vertex-average centroid (adequate for label
+// placement on near-convex regions).
+func (p Polygon) Centroid() Point {
+	var c Point
+	if len(p.Verts) == 0 {
+		return c
+	}
+	for _, v := range p.Verts {
+		c.X += v.X
+		c.Y += v.Y
+	}
+	c.X /= float64(len(p.Verts))
+	c.Y /= float64(len(p.Verts))
+	return c
+}
+
+// Rect builds the rectangle polygon [x0,x1] x [y0,y1].
+func Rect(x0, y0, x1, y1 float64) Polygon {
+	return Polygon{Verts: []Point{{x0, y0}, {x1, y0}, {x1, y1}, {x0, y1}}}
+}
+
+// Region is a named polygon in an index.
+type Region struct {
+	ID   string
+	Poly Polygon
+}
+
+// Index locates points in a set of regions using a bounding-box prefilter.
+type Index struct {
+	regions []Region
+	bboxes  [][4]float64
+}
+
+// NewIndex builds an index over regions.
+func NewIndex(regions []Region) *Index {
+	ix := &Index{regions: regions, bboxes: make([][4]float64, len(regions))}
+	for i, r := range regions {
+		minX, minY, maxX, maxY := r.Poly.BBox()
+		ix.bboxes[i] = [4]float64{minX, minY, maxX, maxY}
+	}
+	return ix
+}
+
+// Len returns the number of regions.
+func (ix *Index) Len() int { return len(ix.regions) }
+
+// Regions returns the indexed regions.
+func (ix *Index) Regions() []Region { return ix.regions }
+
+// Locate returns the ID of the first region containing pt, or "" and
+// false when no region contains it.
+func (ix *Index) Locate(pt Point) (string, bool) {
+	for i, bb := range ix.bboxes {
+		if pt.X < bb[0] || pt.X > bb[2] || pt.Y < bb[1] || pt.Y > bb[3] {
+			continue
+		}
+		if ix.regions[i].Poly.Contains(pt) {
+			return ix.regions[i].ID, true
+		}
+	}
+	return "", false
+}
+
+// String renders a point for logs and CSV.
+func (pt Point) String() string { return fmt.Sprintf("(%g, %g)", pt.X, pt.Y) }

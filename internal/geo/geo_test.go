@@ -1,0 +1,129 @@
+package geo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRectContains(t *testing.T) {
+	r := Rect(0, 0, 10, 5)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Point{5, 2}, true},
+		{Point{-1, 2}, false},
+		{Point{11, 2}, false},
+		{Point{5, 6}, false},
+		{Point{5, -1}, false},
+		{Point{0.001, 0.001}, true},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestTriangleContains(t *testing.T) {
+	tri := Polygon{Verts: []Point{{0, 0}, {10, 0}, {5, 10}}}
+	if !tri.Contains(Point{5, 3}) {
+		t.Error("centroid-ish point not inside triangle")
+	}
+	if tri.Contains(Point{1, 9}) {
+		t.Error("outside corner reported inside")
+	}
+}
+
+func TestConcavePolygon(t *testing.T) {
+	// A "U" shape: the notch must be outside.
+	u := Polygon{Verts: []Point{{0, 0}, {10, 0}, {10, 10}, {7, 10}, {7, 3}, {3, 3}, {3, 10}, {0, 10}}}
+	if !u.Contains(Point{1, 5}) || !u.Contains(Point{9, 5}) {
+		t.Error("arms of U not inside")
+	}
+	if u.Contains(Point{5, 5}) {
+		t.Error("notch of U reported inside")
+	}
+}
+
+func TestDegeneratePolygon(t *testing.T) {
+	if (Polygon{}).Contains(Point{0, 0}) {
+		t.Error("empty polygon contains point")
+	}
+	line := Polygon{Verts: []Point{{0, 0}, {1, 1}}}
+	if line.Contains(Point{0.5, 0.5}) {
+		t.Error("2-vertex polygon contains point")
+	}
+	if (Polygon{}).Area() != 0 {
+		t.Error("empty polygon area")
+	}
+}
+
+func TestAreaAndCentroid(t *testing.T) {
+	r := Rect(0, 0, 4, 3)
+	if a := r.Area(); a != 12 {
+		t.Errorf("area %v", a)
+	}
+	c := r.Centroid()
+	if c.X != 2 || c.Y != 1.5 {
+		t.Errorf("centroid %v", c)
+	}
+	// Winding order must not flip the sign.
+	rev := Polygon{Verts: []Point{{0, 3}, {4, 3}, {4, 0}, {0, 0}}}
+	if rev.Area() != 12 {
+		t.Errorf("reversed area %v", rev.Area())
+	}
+}
+
+func TestBBox(t *testing.T) {
+	p := Polygon{Verts: []Point{{3, 1}, {-2, 5}, {7, -4}}}
+	minX, minY, maxX, maxY := p.BBox()
+	if minX != -2 || minY != -4 || maxX != 7 || maxY != 5 {
+		t.Errorf("bbox %v %v %v %v", minX, minY, maxX, maxY)
+	}
+}
+
+func TestRectContainsProperty(t *testing.T) {
+	f := func(xRaw, yRaw uint16) bool {
+		x := float64(xRaw)/65535*20 - 5
+		y := float64(yRaw)/65535*20 - 5
+		r := Rect(0, 0, 10, 10)
+		inside := x > 0 && x < 10 && y > 0 && y < 10
+		onEdge := x == 0 || x == 10 || y == 0 || y == 10
+		if onEdge {
+			return true // edge behaviour unspecified
+		}
+		return r.Contains(Point{x, y}) == inside
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIndexLocate(t *testing.T) {
+	ix := NewIndex([]Region{
+		{ID: "A", Poly: Rect(0, 0, 10, 10)},
+		{ID: "B", Poly: Rect(10, 0, 20, 10)},
+	})
+	if ix.Len() != 2 {
+		t.Error("index size")
+	}
+	if id, ok := ix.Locate(Point{5, 5}); !ok || id != "A" {
+		t.Errorf("locate A: %q %v", id, ok)
+	}
+	if id, ok := ix.Locate(Point{15, 5}); !ok || id != "B" {
+		t.Errorf("locate B: %q %v", id, ok)
+	}
+	if _, ok := ix.Locate(Point{25, 5}); ok {
+		t.Error("located point outside all regions")
+	}
+	if len(ix.Regions()) != 2 {
+		t.Error("Regions accessor")
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if got := (Point{1.5, -2}).String(); got != "(1.5, -2)" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,119 @@
+// Package heapk implements a bounded max-heap for selecting the k smallest
+// items of a stream in Θ(n log k) time — the CLRS heap trick the kNN
+// assignment cites (paper §2) to beat the Θ(n log n) full sort.
+package heapk
+
+// Item is a candidate with a priority (for kNN: squared distance) and an
+// opaque payload (for kNN: the class label).
+type Item[T any] struct {
+	Priority float64
+	Value    T
+}
+
+// Heap keeps the k items with the smallest priorities seen so far. The
+// root is the largest of those k, so each new candidate is compared against
+// the root in O(1) and replaces it in O(log k) when smaller. The zero
+// value is unusable; use New.
+type Heap[T any] struct {
+	k     int
+	items []Item[T]
+}
+
+// New returns a bounded heap that retains the k smallest-priority items.
+func New[T any](k int) *Heap[T] {
+	if k < 1 {
+		panic("heapk: k must be >= 1")
+	}
+	return &Heap[T]{k: k, items: make([]Item[T], 0, k)}
+}
+
+// Len returns the number of retained items (<= k).
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// K returns the bound.
+func (h *Heap[T]) K() int { return h.k }
+
+// Max returns the largest retained priority, or +Inf semantics via ok=false
+// when fewer than k items have been offered (meaning any candidate will be
+// accepted).
+func (h *Heap[T]) Max() (float64, bool) {
+	if len(h.items) < h.k {
+		return 0, false
+	}
+	return h.items[0].Priority, true
+}
+
+// Offer considers a candidate. It returns true if the candidate was
+// retained.
+func (h *Heap[T]) Offer(priority float64, value T) bool {
+	if len(h.items) < h.k {
+		h.items = append(h.items, Item[T]{priority, value})
+		h.siftUp(len(h.items) - 1)
+		return true
+	}
+	if priority >= h.items[0].Priority {
+		return false
+	}
+	h.items[0] = Item[T]{priority, value}
+	h.siftDown(0)
+	return true
+}
+
+// Items returns the retained items in unspecified order. The slice aliases
+// the heap's storage; callers must not offer further candidates while
+// using it.
+func (h *Heap[T]) Items() []Item[T] { return h.items }
+
+// Sorted extracts the retained items ordered by ascending priority,
+// leaving the heap empty.
+func (h *Heap[T]) Sorted() []Item[T] {
+	out := make([]Item[T], len(h.items))
+	for i := len(h.items) - 1; i >= 0; i-- {
+		out[i] = h.items[0]
+		last := len(h.items) - 1
+		h.items[0] = h.items[last]
+		h.items = h.items[:last]
+		if last > 0 {
+			h.siftDown(0)
+		}
+	}
+	return out
+}
+
+// Merge offers every retained item of other into h. Useful for combining
+// per-worker partial k-nearest sets (the MapReduce combiner path).
+func (h *Heap[T]) Merge(other *Heap[T]) {
+	for _, it := range other.items {
+		h.Offer(it.Priority, it.Value)
+	}
+}
+
+func (h *Heap[T]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Priority >= h.items[i].Priority {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.items[l].Priority > h.items[largest].Priority {
+			largest = l
+		}
+		if r < n && h.items[r].Priority > h.items[largest].Priority {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}

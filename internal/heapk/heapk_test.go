@@ -1,0 +1,162 @@
+package heapk
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prng"
+)
+
+func TestKeepsKSmallest(t *testing.T) {
+	h := New[int](3)
+	for i, p := range []float64{9, 1, 8, 2, 7, 3, 6} {
+		h.Offer(p, i)
+	}
+	got := h.Sorted()
+	if len(got) != 3 {
+		t.Fatalf("len %d", len(got))
+	}
+	wantP := []float64{1, 2, 3}
+	for i, it := range got {
+		if it.Priority != wantP[i] {
+			t.Errorf("pos %d priority %v want %v", i, it.Priority, wantP[i])
+		}
+	}
+}
+
+func TestFewerThanK(t *testing.T) {
+	h := New[string](10)
+	h.Offer(5, "a")
+	h.Offer(1, "b")
+	got := h.Sorted()
+	if len(got) != 2 || got[0].Value != "b" || got[1].Value != "a" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestMaxSemantics(t *testing.T) {
+	h := New[int](2)
+	if _, ok := h.Max(); ok {
+		t.Error("Max ok before full")
+	}
+	h.Offer(3, 0)
+	h.Offer(1, 1)
+	if m, ok := h.Max(); !ok || m != 3 {
+		t.Errorf("Max = %v, %v", m, ok)
+	}
+	h.Offer(2, 2) // evicts 3
+	if m, _ := h.Max(); m != 2 {
+		t.Errorf("Max after evict = %v", m)
+	}
+}
+
+func TestOfferReturnValue(t *testing.T) {
+	h := New[int](1)
+	if !h.Offer(5, 0) {
+		t.Error("first offer rejected")
+	}
+	if h.Offer(9, 1) {
+		t.Error("worse candidate accepted")
+	}
+	if !h.Offer(1, 2) {
+		t.Error("better candidate rejected")
+	}
+}
+
+func TestMatchesSortProperty(t *testing.T) {
+	f := func(seed uint64, n uint8, k uint8) bool {
+		kk := int(k%20) + 1
+		nn := int(n)
+		r := prng.New(seed)
+		ps := make([]float64, nn)
+		h := New[int](kk)
+		for i := range ps {
+			ps[i] = r.Float64()
+			h.Offer(ps[i], i)
+		}
+		sort.Float64s(ps)
+		want := ps
+		if len(want) > kk {
+			want = want[:kk]
+		}
+		got := h.Sorted()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Priority != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeEquivalentToCombinedStream(t *testing.T) {
+	r := prng.New(77)
+	a, b, all := New[int](5), New[int](5), New[int](5)
+	for i := 0; i < 200; i++ {
+		p := r.Float64()
+		if i%2 == 0 {
+			a.Offer(p, i)
+		} else {
+			b.Offer(p, i)
+		}
+		all.Offer(p, i)
+	}
+	a.Merge(b)
+	got, want := a.Sorted(), all.Sorted()
+	for i := range want {
+		if got[i].Priority != want[i].Priority {
+			t.Fatalf("merge mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestDuplicatePriorities(t *testing.T) {
+	h := New[int](3)
+	for i := 0; i < 10; i++ {
+		h.Offer(1.0, i)
+	}
+	if h.Len() != 3 {
+		t.Errorf("len %d", h.Len())
+	}
+}
+
+func TestPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(0) did not panic")
+		}
+	}()
+	New[int](0)
+}
+
+func BenchmarkHeapVsSort(b *testing.B) {
+	const n, k = 5000, 15
+	r := prng.New(1)
+	ps := make([]float64, n)
+	for i := range ps {
+		ps[i] = r.Float64()
+	}
+	b.Run("Heap", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			h := New[int](k)
+			for i, p := range ps {
+				h.Offer(p, i)
+			}
+		}
+	})
+	b.Run("Sort", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			cp := make([]float64, n)
+			copy(cp, ps)
+			sort.Float64s(cp)
+			_ = cp[:k]
+		}
+	})
+}

@@ -1,0 +1,31 @@
+package heat
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadField hammers the self-describing binary reader: arbitrary bytes
+// must never panic or allocate absurdly; accepted fields round-trip.
+func FuzzReadField(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteField(&seed, 0.25, 3, SinInit(16))
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("HEATFLD\n"))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		alpha, step, u, err := ReadField(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteField(&buf, alpha, step, u); err != nil {
+			t.Fatalf("re-encode of accepted field failed: %v", err)
+		}
+		a2, s2, u2, err := ReadField(&buf)
+		if err != nil || a2 != alpha || s2 != step || MaxAbsDiff(u, u2) != 0 {
+			t.Fatal("accepted field does not round-trip")
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package heat solves the 1D heat equation assignment (paper §6) on the
+// Chapel-like locale runtime, in the assignment's two styles:
+//
+//   - Forall (part 1): a Block-distributed array updated by a high-level
+//     data-parallel loop that spawns fresh tasks every time step — simple,
+//     but it pays task-creation overhead each step.
+//   - Coforall (part 2): one persistent task per locale, each owning a
+//     local chunk with ghost cells, synchronising through a reusable
+//     barrier and exchanging edge values through a global array of halo
+//     cells — more code, less overhead.
+//
+// The discretisation is the paper's explicit scheme with Dirichlet
+// boundaries:
+//
+//	u⁽ⁿ⁺¹⁾[x] = u⁽ⁿ⁾[x] + α·(u⁽ⁿ⁾[x−1] − 2·u⁽ⁿ⁾[x] + u⁽ⁿ⁾[x+1])
+package heat
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/locale"
+	"repro/internal/par"
+)
+
+// Problem is one solver instance. U0 includes the two boundary cells,
+// which are held fixed (Dirichlet forcing values).
+type Problem struct {
+	// Alpha is the diffusion number α = k·Δt/Δx²; the explicit scheme is
+	// stable for α <= 0.5.
+	Alpha float64
+	// U0 is the initial condition, length >= 3.
+	U0 []float64
+	// Steps is the number of time steps.
+	Steps int
+}
+
+// Validate reports configuration errors.
+func (p Problem) Validate() error {
+	if len(p.U0) < 3 {
+		return fmt.Errorf("heat: need at least 3 cells, got %d", len(p.U0))
+	}
+	if p.Alpha <= 0 || p.Alpha > 0.5 {
+		return fmt.Errorf("heat: alpha %v outside stable range (0, 0.5]", p.Alpha)
+	}
+	if p.Steps < 0 {
+		return fmt.Errorf("heat: negative step count")
+	}
+	return nil
+}
+
+// SinInit returns a half-sine initial condition over n cells with zero
+// boundaries: the first eigenmode of the discrete operator, which decays
+// by a known exact factor per step (see DecayFactor).
+func SinInit(n int) []float64 {
+	u := make([]float64, n)
+	for i := range u {
+		u[i] = math.Sin(math.Pi * float64(i) / float64(n-1))
+	}
+	u[0], u[n-1] = 0, 0
+	return u
+}
+
+// DecayFactor returns the exact per-step decay of the SinInit mode under
+// the discrete update: λ = 1 − 2α·(1 − cos(π/(n−1))).
+func DecayFactor(n int, alpha float64) float64 {
+	return 1 - 2*alpha*(1-math.Cos(math.Pi/float64(n-1)))
+}
+
+// SolveSerial is the reference solver (the non-distributed Example1).
+func SolveSerial(p Problem) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.U0)
+	u := append([]float64(nil), p.U0...)
+	un := append([]float64(nil), p.U0...)
+	for t := 0; t < p.Steps; t++ {
+		u, un = un, u
+		for x := 1; x < n-1; x++ {
+			un[x] = u[x] + p.Alpha*(u[x-1]-2*u[x]+u[x+1])
+		}
+	}
+	return un, nil
+}
+
+// SolveLocal is the shared-memory forall version: one node, the interior
+// loop split over workers goroutines each step.
+func SolveLocal(p Problem, workers int) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.U0)
+	u := append([]float64(nil), p.U0...)
+	un := append([]float64(nil), p.U0...)
+	for t := 0; t < p.Steps; t++ {
+		u, un = un, u
+		// The un slice must be captured fresh per step after the swap.
+		src, dst := u, un
+		par.ForRange(n-2, workers, par.Static, 0, func(lo, hi, _ int) {
+			for x := lo + 1; x < hi+1; x++ {
+				dst[x] = src[x] + p.Alpha*(src[x-1]-2*src[x]+src[x+1])
+			}
+		})
+	}
+	return un, nil
+}
+
+// SolveForall is part 1's distributed solver: u and un are
+// Block-distributed arrays over the system's locales, and every time step
+// runs a distributed forall (fresh tasks per step) in which each locale
+// updates its own block, reading neighbour cells through the global array
+// (communication at the block edges).
+func SolveForall(p Problem, sys *locale.System) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.U0)
+	dist := sys.Block(locale.Dom(0, n))
+	u := dist.NewArray()
+	un := dist.NewArray()
+	for i, v := range p.U0 {
+		u.Set(i, v)
+		un.Set(i, v)
+	}
+	for t := 0; t < p.Steps; t++ {
+		u.Swap(un)
+		dist.ForallBlock(func(loc *locale.Locale, ld locale.Domain) {
+			chunk := un.Local(loc.ID)
+			src := u.Local(loc.ID)
+			for x := ld.Lo; x < ld.Hi; x++ {
+				if x == 0 || x == n-1 {
+					continue // Dirichlet boundary
+				}
+				li := x - ld.Lo
+				var left, right float64
+				if li > 0 {
+					left = src[li-1]
+				} else {
+					left = u.At(x - 1) // remote read across the block edge
+				}
+				if li < ld.Size()-1 {
+					right = src[li+1]
+				} else {
+					right = u.At(x + 1)
+				}
+				chunk[li] = src[li] + p.Alpha*(left-2*src[li]+right)
+			}
+		})
+	}
+	return un.ToSlice(), nil
+}
+
+// SolveCoforall is part 2's solver: Coforall spawns exactly one persistent
+// task per locale (the on-statement placement). Each task copies its block
+// plus two ghost cells into task-local storage, and every step (a) stores
+// its edge values into its neighbours' halo cells in a shared global halo
+// array, (b) waits on the barrier, (c) copies its own halo cells in and
+// computes the update locally, (d) waits again before publishing the next
+// edges. No tasks are created or destroyed inside the time loop.
+func SolveCoforall(p Problem, sys *locale.System) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := len(p.U0)
+	nLoc := sys.NumLocales()
+	if n < nLoc {
+		return nil, fmt.Errorf("heat: %d cells cannot feed %d locales' halo exchange", n, nLoc)
+	}
+	dist := sys.Block(locale.Dom(0, n))
+
+	// Global halo arrays: haloFromLeft[l] is the cell value just left of
+	// locale l's block (written by locale l-1); haloFromRight[l]
+	// symmetrically.
+	haloFromLeft := make([]float64, nLoc)
+	haloFromRight := make([]float64, nLoc)
+	bar := locale.NewBarrier(nLoc)
+	result := make([]float64, n)
+
+	locale.Coforall(nLoc, func(tid int) {
+		ld := dist.LocalDomain(tid)
+		size := ld.Size()
+		// Local arrays with ghost cells at [0] and [size+1].
+		u := make([]float64, size+2)
+		un := make([]float64, size+2)
+		for i := 0; i < size; i++ {
+			u[i+1] = p.U0[ld.Lo+i]
+			un[i+1] = p.U0[ld.Lo+i]
+		}
+
+		for t := 0; t < p.Steps; t++ {
+			u, un = un, u
+			if size > 0 {
+				// (a) Publish edges into the neighbours' halo cells.
+				if tid > 0 {
+					haloFromRight[tid-1] = u[1]
+				}
+				if tid < nLoc-1 {
+					haloFromLeft[tid+1] = u[size]
+				}
+			}
+			bar.Wait()
+			// (c) Pull halos and compute. Global boundary cells stay
+			// fixed (Dirichlet).
+			if size > 0 {
+				if tid > 0 {
+					u[0] = haloFromLeft[tid]
+				}
+				if tid < nLoc-1 {
+					u[size+1] = haloFromRight[tid]
+				}
+				for li := 1; li <= size; li++ {
+					x := ld.Lo + li - 1
+					if x == 0 || x == n-1 {
+						un[li] = u[li]
+						continue
+					}
+					un[li] = u[li] + p.Alpha*(u[li-1]-2*u[li]+u[li+1])
+				}
+			}
+			// (d) Everyone finishes computing before edges change.
+			bar.Wait()
+		}
+		for i := 0; i < size; i++ {
+			result[ld.Lo+i] = un[i+1]
+		}
+	})
+	return result, nil
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference — the
+// comparison metric of the solver equivalence tests.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		return math.Inf(1)
+	}
+	m := 0.0
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,240 @@
+package heat
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/locale"
+)
+
+func sinProblem(n, steps int) Problem {
+	return Problem{Alpha: 0.25, U0: SinInit(n), Steps: steps}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Problem{
+		{Alpha: 0.25, U0: []float64{1, 2}, Steps: 1},
+		{Alpha: 0, U0: make([]float64, 10), Steps: 1},
+		{Alpha: 0.75, U0: make([]float64, 10), Steps: 1},
+		{Alpha: 0.25, U0: make([]float64, 10), Steps: -1},
+	}
+	for i, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if sinProblem(10, 5).Validate() != nil {
+		t.Error("valid problem rejected")
+	}
+}
+
+func TestSerialMatchesAnalyticDecay(t *testing.T) {
+	// The half-sine is an exact eigenmode of the discrete operator: after
+	// nt steps every interior cell is multiplied by DecayFactor^nt.
+	const n, steps = 101, 200
+	p := sinProblem(n, steps)
+	got, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lambda := math.Pow(DecayFactor(n, p.Alpha), steps)
+	u0 := SinInit(n)
+	for x := 0; x < n; x++ {
+		want := u0[x] * lambda
+		if math.Abs(got[x]-want) > 1e-10 {
+			t.Fatalf("cell %d: %v want %v", x, got[x], want)
+		}
+	}
+}
+
+func TestBoundariesHeldFixed(t *testing.T) {
+	u0 := make([]float64, 50)
+	u0[0], u0[49] = 3.5, -1.25 // nonzero Dirichlet forcing
+	for i := 1; i < 49; i++ {
+		u0[i] = 0
+	}
+	got, err := SolveSerial(Problem{Alpha: 0.3, U0: u0, Steps: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 3.5 || got[49] != -1.25 {
+		t.Errorf("boundaries moved: %v %v", got[0], got[49])
+	}
+	// Heat must have diffused inward from the hot boundary.
+	if got[1] <= 0 {
+		t.Error("no diffusion from hot boundary")
+	}
+	if got[1] < got[25] {
+		t.Error("interior hotter than near-boundary")
+	}
+}
+
+func TestSteadyStateIsLinearProfile(t *testing.T) {
+	// With boundaries 0 and 1 the converged solution is the linear ramp.
+	const n = 21
+	u0 := make([]float64, n)
+	u0[n-1] = 1
+	got, err := SolveSerial(Problem{Alpha: 0.5, U0: u0, Steps: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < n; x++ {
+		want := float64(x) / float64(n-1)
+		if math.Abs(got[x]-want) > 1e-6 {
+			t.Fatalf("steady state cell %d: %v want %v", x, got[x], want)
+		}
+	}
+}
+
+func TestLocalMatchesSerial(t *testing.T) {
+	p := sinProblem(257, 100)
+	want, _ := SolveSerial(p)
+	for _, workers := range []int{1, 2, 3, 8} {
+		got, err := SolveLocal(p, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(got, want); d != 0 {
+			t.Errorf("workers=%d diff %v", workers, d)
+		}
+	}
+}
+
+func TestForallMatchesSerial(t *testing.T) {
+	p := sinProblem(200, 80)
+	want, _ := SolveSerial(p)
+	for _, nLoc := range []int{1, 2, 3, 5} {
+		sys := locale.NewSystem(nLoc, 2)
+		got, err := SolveForall(p, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(got, want); d != 0 {
+			t.Errorf("locales=%d diff %v", nLoc, d)
+		}
+	}
+}
+
+func TestCoforallMatchesSerial(t *testing.T) {
+	p := sinProblem(200, 80)
+	want, _ := SolveSerial(p)
+	for _, nLoc := range []int{1, 2, 4, 7} {
+		sys := locale.NewSystem(nLoc, 2)
+		got, err := SolveCoforall(p, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxAbsDiff(got, want); d != 0 {
+			t.Errorf("locales=%d diff %v", nLoc, d)
+		}
+	}
+}
+
+func TestCoforallRejectsTooManyLocales(t *testing.T) {
+	sys := locale.NewSystem(10, 1)
+	if _, err := SolveCoforall(sinProblem(5, 1), sys); err == nil {
+		t.Error("accepted more locales than cells")
+	}
+}
+
+func TestSolversAgreeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, stepsRaw, locRaw uint8) bool {
+		n := int(nRaw%100) + 10
+		steps := int(stepsRaw % 30)
+		nLoc := int(locRaw%4) + 1
+		u0 := make([]float64, n)
+		s := seed
+		for i := range u0 {
+			s = s*6364136223846793005 + 1442695040888963407
+			u0[i] = float64(s%1000)/500 - 1
+		}
+		p := Problem{Alpha: 0.4, U0: u0, Steps: steps}
+		serial, err := SolveSerial(p)
+		if err != nil {
+			return false
+		}
+		sys := locale.NewSystem(nLoc, 2)
+		forall, err := SolveForall(p, sys)
+		if err != nil {
+			return false
+		}
+		coforall, err := SolveCoforall(p, sys)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(serial, forall) == 0 && MaxAbsDiff(serial, coforall) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZeroSteps(t *testing.T) {
+	p := sinProblem(10, 0)
+	got, err := SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxAbsDiff(got, SinInit(10)); d != 0 {
+		t.Error("zero steps changed the field")
+	}
+}
+
+func TestMaxAbsDiffLengthMismatch(t *testing.T) {
+	if !math.IsInf(MaxAbsDiff([]float64{1}, []float64{1, 2}), 1) {
+		t.Error("length mismatch should be +Inf")
+	}
+}
+
+func TestEnergyDissipates(t *testing.T) {
+	// With zero boundaries, the L2 norm must shrink monotonically.
+	p := sinProblem(64, 0)
+	u := append([]float64(nil), p.U0...)
+	norm := func(xs []float64) float64 {
+		s := 0.0
+		for _, v := range xs {
+			s += v * v
+		}
+		return s
+	}
+	prev := norm(u)
+	for it := 0; it < 10; it++ {
+		out, err := SolveSerial(Problem{Alpha: 0.25, U0: u, Steps: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cur := norm(out)
+		if cur >= prev {
+			t.Fatalf("energy grew at block %d: %v -> %v", it, prev, cur)
+		}
+		prev = cur
+		u = out
+	}
+}
+
+func BenchmarkForallVsCoforall(b *testing.B) {
+	p := sinProblem(100000, 50)
+	sys := locale.NewSystem(4, 1)
+	b.Run("Forall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveForall(p, sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Coforall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveCoforall(p, sys); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("Serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := SolveSerial(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,95 @@
+package heat
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Field files are the course's "self-describing format" exercise (the
+// paper's traffic assignment mentions adapting output to NetCDF): a small
+// binary container that carries its own metadata, so a reader needs no
+// out-of-band knowledge. Layout (little endian):
+//
+//	magic   [8]byte  "HEATFLD\n"
+//	version uint32   (1)
+//	alpha   float64
+//	step    uint64   time step the snapshot was taken at
+//	nx      uint64   cell count
+//	data    nx * float64
+type fieldHeader struct {
+	Version uint32
+	Alpha   float64
+	Step    uint64
+	NX      uint64
+}
+
+var fieldMagic = [8]byte{'H', 'E', 'A', 'T', 'F', 'L', 'D', '\n'}
+
+// WriteField serialises a solution snapshot.
+func WriteField(w io.Writer, alpha float64, step int, u []float64) error {
+	if _, err := w.Write(fieldMagic[:]); err != nil {
+		return err
+	}
+	h := fieldHeader{Version: 1, Alpha: alpha, Step: uint64(step), NX: uint64(len(u))}
+	if err := binary.Write(w, binary.LittleEndian, h); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, u)
+}
+
+// ReadField parses a snapshot written by WriteField.
+func ReadField(r io.Reader) (alpha float64, step int, u []float64, err error) {
+	var magic [8]byte
+	if _, err = io.ReadFull(r, magic[:]); err != nil {
+		return 0, 0, nil, fmt.Errorf("heat: reading magic: %w", err)
+	}
+	if magic != fieldMagic {
+		return 0, 0, nil, fmt.Errorf("heat: bad magic %q", magic)
+	}
+	var h fieldHeader
+	if err = binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return 0, 0, nil, fmt.Errorf("heat: reading header: %w", err)
+	}
+	if h.Version != 1 {
+		return 0, 0, nil, fmt.Errorf("heat: unsupported version %d", h.Version)
+	}
+	if h.NX > 1<<24 {
+		return 0, 0, nil, fmt.Errorf("heat: implausible cell count %d", h.NX)
+	}
+	if math.IsNaN(h.Alpha) || math.IsInf(h.Alpha, 0) {
+		return 0, 0, nil, fmt.Errorf("heat: non-finite alpha")
+	}
+	u = make([]float64, h.NX)
+	if err = binary.Read(r, binary.LittleEndian, u); err != nil {
+		return 0, 0, nil, fmt.Errorf("heat: reading data: %w", err)
+	}
+	for _, v := range u {
+		if math.IsNaN(v) {
+			return 0, 0, nil, fmt.Errorf("heat: field contains NaN")
+		}
+	}
+	return h.Alpha, int(h.Step), u, nil
+}
+
+// SaveField writes a snapshot to a file.
+func SaveField(path string, alpha float64, step int, u []float64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteField(f, alpha, step, u)
+}
+
+// LoadField reads a snapshot from a file.
+func LoadField(path string) (alpha float64, step int, u []float64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	defer f.Close()
+	return ReadField(f)
+}

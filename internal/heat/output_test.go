@@ -1,0 +1,105 @@
+package heat
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFieldRoundTrip(t *testing.T) {
+	u := SinInit(257)
+	var buf bytes.Buffer
+	if err := WriteField(&buf, 0.25, 42, u); err != nil {
+		t.Fatal(err)
+	}
+	alpha, step, got, err := ReadField(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != 0.25 || step != 42 || len(got) != 257 {
+		t.Fatalf("header alpha=%v step=%d nx=%d", alpha, step, len(got))
+	}
+	if MaxAbsDiff(u, got) != 0 {
+		t.Error("data corrupted in round trip")
+	}
+}
+
+func TestFieldFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.heat")
+	u, _ := SolveSerial(Problem{Alpha: 0.3, U0: SinInit(64), Steps: 10})
+	if err := SaveField(path, 0.3, 10, u); err != nil {
+		t.Fatal(err)
+	}
+	alpha, step, got, err := LoadField(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alpha != 0.3 || step != 10 || MaxAbsDiff(u, got) != 0 {
+		t.Error("file round trip mismatch")
+	}
+}
+
+func TestFieldRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", []byte("NOTHEAT\nxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx")},
+		{"truncated header", []byte("HEATFLD\n\x01\x00")},
+	}
+	for _, c := range cases {
+		if _, _, _, err := ReadField(bytes.NewReader(c.data)); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestFieldRejectsTruncatedData(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteField(&buf, 0.25, 1, SinInit(100)); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-16]
+	if _, _, _, err := ReadField(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated data accepted")
+	}
+}
+
+func TestFieldRejectsNaN(t *testing.T) {
+	u := SinInit(10)
+	u[3] = math.NaN()
+	var buf bytes.Buffer
+	if err := WriteField(&buf, 0.25, 1, u); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err := ReadField(&buf)
+	if err == nil || !strings.Contains(err.Error(), "NaN") {
+		t.Errorf("NaN not rejected: %v", err)
+	}
+}
+
+func TestFieldRejectsImplausibleSize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("HEATFLD\n"))
+	// version 1, alpha, absurd nx
+	buf.Write([]byte{1, 0, 0, 0})
+	buf.Write(make([]byte, 8)) // alpha = 0 bits
+	buf.Write(make([]byte, 8)) // step
+	buf.Write([]byte{0, 0, 0, 0, 0, 0, 0, 0x7f})
+	if _, _, _, err := ReadField(&buf); err == nil {
+		t.Error("implausible size accepted")
+	}
+}
+
+func TestFieldRejectsNonFiniteAlpha(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteField(&buf, math.NaN(), 1, SinInit(8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ReadField(&buf); err == nil {
+		t.Error("NaN alpha accepted")
+	}
+}

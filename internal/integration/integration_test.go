@@ -1,0 +1,303 @@
+// Package integration exercises cross-module flows: the full exhibit
+// regeneration, CSV round trips feeding classifiers, raster outputs, and
+// the equivalences between independent implementations of the same
+// computation.
+package integration
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataio"
+	"repro/internal/ensemble"
+	"repro/internal/heat"
+	"repro/internal/kmeans"
+	"repro/internal/knn"
+	"repro/internal/locale"
+	"repro/internal/mapreduce"
+	"repro/internal/mnistgen"
+	"repro/internal/nn"
+	"repro/internal/rdd"
+	"repro/internal/spatial"
+	"repro/internal/traffic"
+)
+
+// TestFullReproQuick regenerates every exhibit at quick scale and checks
+// the artifacts exist and the report contains no failure markers.
+func TestFullReproQuick(t *testing.T) {
+	dir := t.TempDir()
+	if err := core.RunAll(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	wantFiles := []string{
+		"repro_report.md", "table1_survey.md",
+		"fig1_kmeans.ppm", "fig2_nyc_heatmap.ppm",
+		"fig3_traffic.pgm", "fig3_traffic_norandom.pgm",
+		"fig4_uncertainty.txt",
+		"c1_knn.md", "c2_combiner.md", "c3_kmeans_strategies.md",
+		"c4_kmeans_distributed.md", "c5_traffic_repro.md",
+		"c6_jump_ahead.md", "c7_heat.md", "c8_taskfarm.md", "c9_uncertainty.md",
+	}
+	for _, f := range wantFiles {
+		fi, err := os.Stat(filepath.Join(dir, f))
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("artifact %s missing or empty", f)
+		}
+	}
+	report, err := os.ReadFile(filepath.Join(dir, "repro_report.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"MISMATCH", "FAILED", "WARNING"} {
+		if strings.Contains(string(report), bad) {
+			t.Errorf("report contains %q:\n%s", bad, report)
+		}
+	}
+}
+
+// TestRasterHeadersWellFormed validates the PGM/PPM outputs byte-level.
+func TestRasterHeadersWellFormed(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := core.Figure3Traffic(dir, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "fig3_traffic.pgm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	line, _ := r.ReadString('\n')
+	if line != "P5\n" {
+		t.Errorf("magic %q", line)
+	}
+	dims, _ := r.ReadString('\n')
+	if !strings.HasPrefix(dims, "1000 ") {
+		t.Errorf("dims %q (want width 1000)", dims)
+	}
+}
+
+// TestCSVFeedsClassifiers writes a dataset to CSV, reads it back, and
+// confirms every kNN variant classifies the reloaded data identically to
+// the in-memory original.
+func TestCSVFeedsClassifiers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.csv")
+	orig := dataio.GaussianMixture(5, 600, 6, 3, 3.0)
+	if err := orig.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataio.LoadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db1, q1 := orig.Split(500)
+	db2, q2 := loaded.Split(500)
+	p1 := knn.SequentialHeap(db1, q1.Points, 7)
+	p2 := knn.SequentialHeap(db2, q2.Points, 7)
+	tree := spatial.NewKDTree(db2.Points, db2.Labels)
+	p3 := knn.KDTree(tree, q2.Points, 7, 0)
+	world := cluster.NewWorld(3)
+	p4, err := knn.MapReduce(world, db2, q2.Points, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] || p2[i] != p3[i] || p3[i] != p4[i] {
+			t.Fatalf("query %d: variants disagree after CSV round trip (%d %d %d %d)",
+				i, p1[i], p2[i], p3[i], p4[i])
+		}
+	}
+}
+
+// TestKMeansThenKNN clusters unlabelled data with K-means, then uses the
+// discovered clusters as kNN training labels — the two data-mining
+// assignments composed into one workflow.
+func TestKMeansThenKNN(t *testing.T) {
+	ds := dataio.GaussianMixture(9, 1200, 4, 3, 1.5)
+	train, test := ds.Split(1000)
+
+	res := kmeans.Run(train.Points, kmeans.Options{K: 3, Seed: 4})
+	relabelled := &dataio.Dataset{Dim: train.Dim, Classes: 3,
+		Points: train.Points, Labels: res.Assign}
+	pred := knn.Parallel(relabelled, test.Points, 9, 0)
+
+	// K-means cluster ids are arbitrary; measure agreement via majority
+	// mapping from cluster id to true label.
+	vote := make(map[int]map[int]int)
+	for i, a := range res.Assign {
+		if vote[a] == nil {
+			vote[a] = map[int]int{}
+		}
+		vote[a][train.Labels[i]]++
+	}
+	mapping := map[int]int{}
+	for c, counts := range vote {
+		best, bestN := -1, -1
+		for l, n := range counts {
+			if n > bestN {
+				best, bestN = l, n
+			}
+		}
+		mapping[c] = best
+	}
+	hits := 0
+	for i, p := range pred {
+		if mapping[p] == test.Labels[i] {
+			hits++
+		}
+	}
+	if acc := float64(hits) / float64(len(pred)); acc < 0.9 {
+		t.Errorf("kmeans->knn pipeline accuracy %v", acc)
+	}
+}
+
+// TestWordCountOnRDDAndMapReduceAgree runs the same word count on both
+// data-parallel substrates and compares results exactly.
+func TestWordCountOnRDDAndMapReduceAgree(t *testing.T) {
+	docs := []string{
+		"to be or not to be", "that is the question",
+		"whether tis nobler in the mind", "to suffer the slings",
+	}
+	world := cluster.NewWorld(3)
+	mr, err := mapreduce.WordCount(world, docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := rdd.NewContext()
+	lines := rdd.Parallelize(ctx, docs, 3)
+	words := rdd.FlatMap(lines, func(d string) []string { return mapreduce.Tokenize(d) })
+	pairs := rdd.Map(words, func(w string) rdd.Pair[string, int] { return rdd.Pair[string, int]{Key: w, Value: 1} })
+	viaRDD := rdd.CollectMap(rdd.ReduceByKey(pairs, func(a, b int) int { return a + b }))
+	if len(mr) != len(viaRDD) {
+		t.Fatalf("vocab sizes differ: %d vs %d", len(mr), len(viaRDD))
+	}
+	for w, n := range mr {
+		if viaRDD[w] != n {
+			t.Errorf("%q: mapreduce %d, rdd %d", w, n, viaRDD[w])
+		}
+	}
+}
+
+// TestTrafficRasterMatchesSimulation regenerates a space-time diagram and
+// cross-checks row car counts against a fresh simulation's positions.
+func TestTrafficRasterMatchesSimulation(t *testing.T) {
+	cfg := traffic.Config{Cars: 50, RoadLen: 200, VMax: 5, P: 0.2, Seed: 31}
+	rows, err := traffic.SpaceTime(cfg, 40, traffic.SharedSequence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := traffic.New(cfg)
+	for step, row := range rows {
+		occupied := map[int]bool{}
+		for x, v := range row {
+			if v > 0 {
+				occupied[x] = true
+			}
+		}
+		for _, p := range s.Positions() {
+			if !occupied[p] {
+				t.Fatalf("step %d: car at %d missing from raster row", step, p)
+			}
+		}
+		s.RunSerial(1)
+	}
+}
+
+// TestHeatSolversOnClusterScaleProblem verifies all heat solvers agree on
+// a larger joint instance with awkward block sizes.
+func TestHeatSolversOnClusterScaleProblem(t *testing.T) {
+	p := heat.Problem{Alpha: 0.5, U0: heat.SinInit(1031), Steps: 257}
+	want, err := heat.SolveSerial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := locale.NewSystem(7, 3)
+	fa, err := heat.SolveForall(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := heat.SolveCoforall(p, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heat.MaxAbsDiff(want, fa) != 0 || heat.MaxAbsDiff(want, co) != 0 {
+		t.Error("distributed heat solvers diverge on awkward block sizes")
+	}
+}
+
+// TestEnsembleModelPersistence trains an ensemble distributed over ranks,
+// saves the best member, reloads it, and confirms identical predictions —
+// the submit-your-model workflow.
+func TestEnsembleModelPersistence(t *testing.T) {
+	ds := mnistgen.Generate(41, 800)
+	train, val := ds.Split(600)
+	cfgs := ensemble.Grid([][]int{{16}}, []float64{0.1}, []float64{0.9, 0.5}, 3, 32, 42)
+	world := cluster.NewWorld(3)
+	ens, _, err := ensemble.TrainDistributed(world, train, val, cfgs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := ens.Best()
+	path := filepath.Join(t.TempDir(), "best.nn")
+	if err := best.Net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := nn.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := loaded.Evaluate(val), best.Net.Evaluate(val); got != want {
+		t.Errorf("loaded model accuracy %v, want %v", got, want)
+	}
+}
+
+// TestParallelIOFeedsMapReduce writes a large CSV, loads it with parallel
+// byte-range readers, and classifies through the MapReduce path — the §2
+// "multiple ranks perform IO" flow end to end.
+func TestParallelIOFeedsMapReduce(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "db.csv")
+	full := dataio.GaussianMixture(51, 1500, 6, 3, 3.0)
+	if err := full.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := dataio.LoadCSVParallel(path, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, queries := loaded.Split(1300)
+	world := cluster.NewWorld(4)
+	pred, err := knn.MapReduce(world, db, queries.Points, 7, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := knn.Accuracy(pred, queries.Labels); acc < 0.95 {
+		t.Errorf("accuracy %v through the parallel-IO path", acc)
+	}
+}
+
+// TestTrafficThreeImplementationsAgree cross-validates the agent-based,
+// grid, and distributed implementations on one trajectory.
+func TestTrafficThreeImplementationsAgree(t *testing.T) {
+	cfg := traffic.Config{Cars: 120, RoadLen: 700, VMax: 5, P: 0.17, Seed: 61}
+	agent, _ := traffic.New(cfg)
+	agent.RunSerial(150)
+
+	grid, _ := traffic.NewGrid(cfg)
+	grid.RunSerial(150)
+
+	dist, _ := traffic.New(cfg)
+	if err := dist.RunCluster(cluster.NewWorld(5), 150); err != nil {
+		t.Fatal(err)
+	}
+	if agent.Fingerprint() != grid.Fingerprint() || grid.Fingerprint() != dist.Fingerprint() {
+		t.Errorf("fingerprints differ: agent %x grid %x cluster %x",
+			agent.Fingerprint(), grid.Fingerprint(), dist.Fingerprint())
+	}
+}

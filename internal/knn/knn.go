@@ -1,0 +1,228 @@
+// Package knn implements the k-Nearest-Neighbor classification assignment
+// (paper §2): a database of n preclassified d-dimensional points answers q
+// query classifications by majority vote among the k nearest points.
+//
+// Variants mirror the assignment's arc:
+//
+//   - SequentialSort:  Θ(q·n·d + q·n·log n) — sort all distances.
+//   - SequentialHeap:  Θ(q·n·(d + log k)) — the CLRS bounded-heap trick.
+//   - Parallel:        queries split over goroutines (the OpenMP adaptation).
+//   - KDTree:          space-partitioning acceleration (the Data Structures
+//     variation).
+//   - MapReduce:       the assignment's target formulation on MapReduce-MPI:
+//     map tasks parse database shards and emit per-query candidates, local
+//     combiners perform the per-rank reduction the assignment highlights,
+//     and reducers merge candidates and vote.
+package knn
+
+import (
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/dataio"
+	"repro/internal/heapk"
+	"repro/internal/linalg"
+	"repro/internal/mapreduce"
+	"repro/internal/par"
+	"repro/internal/spatial"
+)
+
+// Candidate is one potential neighbour: its squared distance and class.
+type Candidate struct {
+	Dist  float64
+	Class int
+}
+
+// Vote returns the majority class among candidates, assumed to be the k
+// nearest. Ties break toward the smaller class label so every variant
+// agrees deterministically.
+func Vote(cands []Candidate) int {
+	counts := map[int]int{}
+	for _, c := range cands {
+		counts[c.Class]++
+	}
+	best, bestN := -1, -1
+	for class, n := range counts {
+		if n > bestN || (n == bestN && class < best) {
+			best, bestN = class, n
+		}
+	}
+	return best
+}
+
+// kNearestHeap returns the k nearest candidates to q using a bounded heap.
+func kNearestHeap(db *dataio.Dataset, q []float64, k int) []Candidate {
+	h := heapk.New[int](k)
+	for i, p := range db.Points {
+		h.Offer(linalg.SqDist(q, p), db.Labels[i])
+	}
+	items := h.Sorted()
+	out := make([]Candidate, len(items))
+	for i, it := range items {
+		out[i] = Candidate{it.Priority, it.Value}
+	}
+	return out
+}
+
+// SequentialSort classifies queries by fully sorting the n distances per
+// query — the Θ(n log n) baseline the assignment starts from.
+func SequentialSort(db *dataio.Dataset, queries [][]float64, k int) []int {
+	out := make([]int, len(queries))
+	dists := make([]Candidate, db.Len())
+	for qi, q := range queries {
+		for i, p := range db.Points {
+			dists[i] = Candidate{linalg.SqDist(q, p), db.Labels[i]}
+		}
+		sort.Slice(dists, func(a, b int) bool { return dists[a].Dist < dists[b].Dist })
+		kk := k
+		if kk > len(dists) {
+			kk = len(dists)
+		}
+		out[qi] = Vote(dists[:kk])
+	}
+	return out
+}
+
+// SequentialHeap classifies queries with the Θ(n log k) bounded-heap
+// selection.
+func SequentialHeap(db *dataio.Dataset, queries [][]float64, k int) []int {
+	out := make([]int, len(queries))
+	for qi, q := range queries {
+		out[qi] = Vote(kNearestHeap(db, q, k))
+	}
+	return out
+}
+
+// Parallel classifies queries with the heap selection, splitting the query
+// set over workers goroutines — the shared-memory adaptation the paper
+// suggests.
+func Parallel(db *dataio.Dataset, queries [][]float64, k, workers int) []int {
+	out := make([]int, len(queries))
+	par.For(len(queries), workers, func(qi int) {
+		out[qi] = Vote(kNearestHeap(db, queries[qi], k))
+	})
+	return out
+}
+
+// KDTree classifies queries against a pre-built k-d tree, in parallel over
+// queries.
+func KDTree(tree *spatial.KDTree, queries [][]float64, k, workers int) []int {
+	out := make([]int, len(queries))
+	par.For(len(queries), workers, func(qi int) {
+		labels, dists := tree.Nearest(queries[qi], k, nil)
+		cands := make([]Candidate, len(labels))
+		for i := range labels {
+			cands[i] = Candidate{dists[i], labels[i]}
+		}
+		out[qi] = Vote(cands)
+	})
+	return out
+}
+
+// dbShard is the map input: a contiguous slice of database rows. Every
+// rank holds the full query set (the assignment assumes queries are small
+// and replicated).
+type dbShard struct {
+	Points [][]float64
+	Labels []int
+}
+
+// MapReduce classifies queries on a cluster.World using the MapReduce
+// formulation. The database is sharded across ranks; each map task scans
+// its shard against all queries. With useCombiner, each rank first merges
+// its local candidate lists down to k per query — the "local reductions at
+// each rank [that] noticeably improve the communication cost". Reduce
+// merges candidate lists and votes. Predictions are returned indexed by
+// query.
+func MapReduce(world *cluster.World, db *dataio.Dataset, queries [][]float64, k int, useCombiner bool) ([]int, error) {
+	shards := make([]dbShard, world.Size())
+	pointParts := cluster.SplitEven(db.Points, world.Size())
+	labelParts := cluster.SplitEven(db.Labels, world.Size())
+	for r := range shards {
+		shards[r] = dbShard{pointParts[r], labelParts[r]}
+	}
+
+	job := &mapreduce.Job[dbShard, int, []Candidate, int]{
+		Map: func(shard dbShard, emit func(int, []Candidate)) {
+			for qi, q := range queries {
+				if useCombiner {
+					// Per-point emission would be wasteful here
+					// anyway; emit per-shard singletons so the
+					// combiner has real work but the map stays
+					// O(n log k).
+					h := heapk.New[int](k)
+					for i, p := range shard.Points {
+						h.Offer(linalg.SqDist(q, p), shard.Labels[i])
+					}
+					for _, it := range h.Sorted() {
+						emit(qi, []Candidate{{it.Priority, it.Value}})
+					}
+				} else {
+					for i, p := range shard.Points {
+						emit(qi, []Candidate{{linalg.SqDist(q, p), shard.Labels[i]}})
+					}
+				}
+			}
+		},
+		Reduce: func(_ int, lists [][]Candidate) int {
+			h := heapk.New[int](k)
+			for _, list := range lists {
+				for _, c := range list {
+					h.Offer(c.Dist, c.Class)
+				}
+			}
+			items := h.Sorted()
+			cands := make([]Candidate, len(items))
+			for i, it := range items {
+				cands[i] = Candidate{it.Priority, it.Value}
+			}
+			return Vote(cands)
+		},
+		PairBytes: 16,
+	}
+	if useCombiner {
+		job.Combine = func(_ int, lists [][]Candidate) []Candidate {
+			h := heapk.New[int](k)
+			for _, list := range lists {
+				for _, c := range list {
+					h.Offer(c.Dist, c.Class)
+				}
+			}
+			items := h.Sorted()
+			out := make([]Candidate, len(items))
+			for i, it := range items {
+				out[i] = Candidate{it.Priority, it.Value}
+			}
+			return out
+		}
+		job.PairBytes = 16 * k
+	}
+
+	preds := make([]int, len(queries))
+	err := world.Run(func(c *cluster.Comm) {
+		merged := job.RunToRoot(c, []dbShard{shards[c.Rank()]})
+		if c.Rank() == 0 {
+			for qi, class := range merged {
+				preds[qi] = class
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return preds, nil
+}
+
+// Accuracy scores predictions against true labels.
+func Accuracy(pred, labels []int) float64 {
+	if len(pred) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}

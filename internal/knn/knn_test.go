@@ -1,0 +1,226 @@
+package knn
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataio"
+	"repro/internal/spatial"
+)
+
+func testData(seed uint64, n, q, dim, classes int) (*dataio.Dataset, [][]float64, []int) {
+	ds := dataio.GaussianMixture(seed, n+q, dim, classes, 2.0)
+	db, queries := ds.Split(n)
+	return db, queries.Points, queries.Labels
+}
+
+func TestVoteMajorityAndTies(t *testing.T) {
+	if v := Vote([]Candidate{{1, 2}, {2, 2}, {3, 0}}); v != 2 {
+		t.Errorf("majority vote %d", v)
+	}
+	// Tie between classes 1 and 3 -> smaller label wins.
+	if v := Vote([]Candidate{{1, 3}, {2, 1}}); v != 1 {
+		t.Errorf("tie vote %d", v)
+	}
+	if v := Vote(nil); v != -1 {
+		t.Errorf("empty vote %d", v)
+	}
+}
+
+func TestHeapMatchesSort(t *testing.T) {
+	db, queries, _ := testData(1, 400, 60, 5, 3)
+	a := SequentialSort(db, queries, 7)
+	b := SequentialHeap(db, queries, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("query %d: sort %d heap %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	db, queries, _ := testData(2, 300, 80, 4, 4)
+	want := SequentialHeap(db, queries, 5)
+	for _, w := range []int{1, 2, 4, 7} {
+		got := Parallel(db, queries, 5, w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d query %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestKDTreeMatchesSequential(t *testing.T) {
+	db, queries, _ := testData(3, 500, 50, 3, 3)
+	want := SequentialHeap(db, queries, 5)
+	tree := spatial.NewKDTree(db.Points, db.Labels)
+	got := KDTree(tree, queries, 5, 4)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d: kdtree %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMapReduceMatchesSequential(t *testing.T) {
+	db, queries, _ := testData(4, 300, 40, 4, 3)
+	want := SequentialHeap(db, queries, 5)
+	for _, p := range []int{1, 2, 3, 5} {
+		for _, combiner := range []bool{true, false} {
+			world := cluster.NewWorld(p)
+			got, err := MapReduce(world, db, queries, 5, combiner)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("P=%d combiner=%v query %d: %d want %d",
+						p, combiner, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCombinerCutsShuffleBytes(t *testing.T) {
+	db, queries, _ := testData(5, 600, 30, 4, 3)
+	run := func(combiner bool) int64 {
+		world := cluster.NewWorld(4)
+		if _, err := MapReduce(world, db, queries, 5, combiner); err != nil {
+			t.Fatal(err)
+		}
+		return world.TotalBytes()
+	}
+	on, off := run(true), run(false)
+	if on*4 > off {
+		t.Errorf("combiner saved too little: on=%d off=%d", on, off)
+	}
+}
+
+func TestClassificationAccuracyOnSeparableData(t *testing.T) {
+	db, queries, labels := testData(6, 1000, 200, 8, 4)
+	pred := SequentialHeap(db, queries, 9)
+	if acc := Accuracy(pred, labels); acc < 0.97 {
+		t.Errorf("accuracy %v on well-separated Gaussians", acc)
+	}
+}
+
+func TestKLargerThanDatabase(t *testing.T) {
+	db := &dataio.Dataset{Dim: 1, Classes: 2,
+		Points: [][]float64{{0}, {1}, {2}}, Labels: []int{0, 1, 1}}
+	pred := SequentialSort(db, [][]float64{{0.1}}, 10)
+	if pred[0] != 1 {
+		t.Errorf("k>n vote %d (classes 0:1, 1:2 -> majority 1)", pred[0])
+	}
+	pred = SequentialHeap(db, [][]float64{{0.1}}, 10)
+	if pred[0] != 1 {
+		t.Errorf("heap k>n vote %d", pred[0])
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	if Accuracy(nil, nil) != 0 {
+		t.Error("empty accuracy")
+	}
+}
+
+func TestK1NearestPointWins(t *testing.T) {
+	db := &dataio.Dataset{Dim: 2, Classes: 3,
+		Points: [][]float64{{0, 0}, {10, 10}, {20, 20}}, Labels: []int{0, 1, 2}}
+	pred := SequentialHeap(db, [][]float64{{9, 9}, {1, 1}, {19, 19}}, 1)
+	if pred[0] != 1 || pred[1] != 0 || pred[2] != 2 {
+		t.Errorf("k=1 predictions %v", pred)
+	}
+}
+
+func BenchmarkVariants(b *testing.B) {
+	db, queries, _ := testData(7, 2000, 100, 10, 4)
+	b.Run("SequentialSort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SequentialSort(db, queries, 15)
+		}
+	})
+	b.Run("SequentialHeap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SequentialHeap(db, queries, 15)
+		}
+	})
+	b.Run("KDTree", func(b *testing.B) {
+		tree := spatial.NewKDTree(db.Points, db.Labels)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			KDTree(tree, queries, 15, 0)
+		}
+	})
+}
+
+func TestMetrics(t *testing.T) {
+	a, b := []float64{1, 0}, []float64{0, 1}
+	if d := Euclidean.Distance(a, b); d != 2 {
+		t.Errorf("euclidean (squared) %v", d)
+	}
+	if d := Manhattan.Distance(a, b); d != 2 {
+		t.Errorf("manhattan %v", d)
+	}
+	if d := Cosine.Distance(a, b); d != 1 {
+		t.Errorf("orthogonal cosine %v", d)
+	}
+	if d := Cosine.Distance(a, a); d > 1e-12 {
+		t.Errorf("self cosine %v", d)
+	}
+	if d := Cosine.Distance([]float64{0, 0}, a); d != 2 {
+		t.Errorf("zero-vector cosine %v", d)
+	}
+	for m, want := range map[Metric]string{Euclidean: "euclidean", Manhattan: "manhattan", Cosine: "cosine", Metric(9): "unknown"} {
+		if m.String() != want {
+			t.Errorf("metric name %q", m.String())
+		}
+	}
+}
+
+func TestClassifyOptsEuclideanMatchesHeap(t *testing.T) {
+	db, queries, _ := testData(11, 300, 50, 4, 3)
+	want := SequentialHeap(db, queries, 5)
+	got := ClassifyOpts(db, queries, Options{K: 5})
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestClassifyOptsOtherMetricsReasonable(t *testing.T) {
+	db, queries, labels := testData(12, 800, 150, 6, 3)
+	for _, m := range []Metric{Manhattan, Cosine} {
+		pred := ClassifyOpts(db, queries, Options{K: 7, Metric: m})
+		if acc := Accuracy(pred, labels); acc < 0.9 {
+			t.Errorf("metric %v accuracy %v", m, acc)
+		}
+	}
+}
+
+func TestVoteWeighted(t *testing.T) {
+	// One very close class-1 point outweighs two distant class-0 points.
+	cands := []Candidate{{0.01, 1}, {10, 0}, {10, 0}}
+	if v := VoteWeighted(cands); v != 1 {
+		t.Errorf("weighted vote %d", v)
+	}
+	// Plain majority would pick 0 here.
+	if v := Vote(cands); v != 0 {
+		t.Errorf("majority vote %d", v)
+	}
+	// Exact match dominates everything.
+	cands = []Candidate{{0, 2}, {0.001, 1}, {0.001, 1}, {0.001, 1}}
+	if v := VoteWeighted(cands); v != 2 {
+		t.Errorf("exact-match vote %d", v)
+	}
+}
+
+func TestWeightedVoteAccuracy(t *testing.T) {
+	db, queries, labels := testData(13, 800, 150, 5, 4)
+	pred := ClassifyOpts(db, queries, Options{K: 9, Weighted: true})
+	if acc := Accuracy(pred, labels); acc < 0.95 {
+		t.Errorf("weighted accuracy %v", acc)
+	}
+}

@@ -1,0 +1,56 @@
+package locale
+
+import "fmt"
+
+// CyclicDist deals a domain's indices round-robin over the locales —
+// Chapel's Cyclic distribution, the natural choice when work per index is
+// irregular and block decomposition would imbalance.
+type CyclicDist struct {
+	sys *System
+	dom Domain
+}
+
+// Cyclic distributes dom across the system round-robin.
+func (s *System) Cyclic(dom Domain) *CyclicDist {
+	return &CyclicDist{sys: s, dom: dom}
+}
+
+// Domain returns the distributed (global) domain.
+func (c *CyclicDist) Domain() Domain { return c.dom }
+
+// LocaleOf returns which locale owns global index i.
+func (c *CyclicDist) LocaleOf(i int) int {
+	if !c.dom.Contains(i) {
+		panic(fmt.Sprintf("locale: index %d outside %v", i, c.dom))
+	}
+	return (i - c.dom.Lo) % c.sys.NumLocales()
+}
+
+// OwnedBy returns the global indices locale loc owns, in ascending order.
+func (c *CyclicDist) OwnedBy(loc int) []int {
+	p := c.sys.NumLocales()
+	var out []int
+	for i := c.dom.Lo + loc; i < c.dom.Hi; i += p {
+		out = append(out, i)
+	}
+	return out
+}
+
+// LocalSize returns how many indices locale loc owns.
+func (c *CyclicDist) LocalSize(loc int) int {
+	n := c.dom.Size()
+	p := c.sys.NumLocales()
+	q, r := n/p, n%p
+	if loc < r {
+		return q + 1
+	}
+	return q
+}
+
+// ForallCyclic runs body once per locale, concurrently, handing each its
+// owned index list.
+func (c *CyclicDist) ForallCyclic(body func(loc *Locale, indices []int)) {
+	c.sys.OnEach(func(l *Locale) {
+		body(l, c.OwnedBy(l.ID))
+	})
+}

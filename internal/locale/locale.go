@@ -1,0 +1,289 @@
+// Package locale is a miniature Chapel-style runtime: the substrate for
+// the 1D heat equation assignment (paper §6). It models a machine as a set
+// of locales (compute nodes, each with a core count), provides domains and
+// Block distributions over them, a Forall loop (high-level data
+// parallelism: fresh tasks each call, work split over all locales and
+// cores), a Coforall loop (exactly one task per iteration, as in part 2 of
+// the assignment), on-statement-style locale placement, and a reusable
+// cyclic barrier for persistent-task synchronisation.
+package locale
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Locale models one compute node.
+type Locale struct {
+	// ID is the locale's index in the system.
+	ID int
+	// Cores is how many tasks the locale can run truly concurrently.
+	Cores int
+}
+
+// System is the set of locales a program runs across (Chapel's Locales
+// array).
+type System struct {
+	locales []*Locale
+}
+
+// NewSystem builds a system of n locales with the given core count each.
+func NewSystem(n, coresPerLocale int) *System {
+	if n < 1 || coresPerLocale < 1 {
+		panic("locale: need at least one locale and one core")
+	}
+	s := &System{locales: make([]*Locale, n)}
+	for i := range s.locales {
+		s.locales[i] = &Locale{ID: i, Cores: coresPerLocale}
+	}
+	return s
+}
+
+// NumLocales returns the locale count.
+func (s *System) NumLocales() int { return len(s.locales) }
+
+// Locales returns the locales slice (do not mutate).
+func (s *System) Locales() []*Locale { return s.locales }
+
+// TotalCores returns the sum of cores over all locales.
+func (s *System) TotalCores() int {
+	n := 0
+	for _, l := range s.locales {
+		n += l.Cores
+	}
+	return n
+}
+
+// OnEach runs body once per locale, concurrently — the Chapel idiom
+// `coforall loc in Locales do on loc { ... }`.
+func (s *System) OnEach(body func(loc *Locale)) {
+	var wg sync.WaitGroup
+	wg.Add(len(s.locales))
+	for _, l := range s.locales {
+		go func(l *Locale) {
+			defer wg.Done()
+			body(l)
+		}(l)
+	}
+	wg.Wait()
+}
+
+// Domain is a half-open 1D index range [Lo, Hi), Chapel's {Lo..<Hi}.
+type Domain struct {
+	Lo, Hi int
+}
+
+// Dom builds the domain {lo..<hi}.
+func Dom(lo, hi int) Domain {
+	if hi < lo {
+		hi = lo
+	}
+	return Domain{lo, hi}
+}
+
+// Size returns the number of indices.
+func (d Domain) Size() int { return d.Hi - d.Lo }
+
+// Interior shrinks the domain by pad on both ends (the Ω̂ ⊂ Ω of the heat
+// assignment, excluding boundary points).
+func (d Domain) Interior(pad int) Domain {
+	return Dom(d.Lo+pad, d.Hi-pad)
+}
+
+// Contains reports whether i lies in the domain.
+func (d Domain) Contains(i int) bool { return i >= d.Lo && i < d.Hi }
+
+// String renders the domain Chapel-style.
+func (d Domain) String() string { return fmt.Sprintf("{%d..<%d}", d.Lo, d.Hi) }
+
+// BlockDist maps a domain across a system's locales in contiguous
+// near-equal blocks — Chapel's Block.createDomain.
+type BlockDist struct {
+	sys *System
+	dom Domain
+}
+
+// Block distributes dom across the system.
+func (s *System) Block(dom Domain) *BlockDist {
+	return &BlockDist{sys: s, dom: dom}
+}
+
+// Domain returns the distributed (global) domain.
+func (b *BlockDist) Domain() Domain { return b.dom }
+
+// System returns the owning system.
+func (b *BlockDist) System() *System { return b.sys }
+
+// LocalDomain returns the sub-domain owned by locale loc.
+func (b *BlockDist) LocalDomain(loc int) Domain {
+	n := b.dom.Size()
+	p := b.sys.NumLocales()
+	q, r := n/p, n%p
+	lo := loc*q + min(loc, r)
+	hi := lo + q
+	if loc < r {
+		hi++
+	}
+	return Dom(b.dom.Lo+lo, b.dom.Lo+hi)
+}
+
+// LocaleOf returns which locale owns global index i.
+func (b *BlockDist) LocaleOf(i int) int {
+	if !b.dom.Contains(i) {
+		panic(fmt.Sprintf("locale: index %d outside %v", i, b.dom))
+	}
+	off := i - b.dom.Lo
+	n := b.dom.Size()
+	p := b.sys.NumLocales()
+	q, r := n/p, n%p
+	// First r blocks have size q+1.
+	if off < r*(q+1) {
+		return off / (q + 1)
+	}
+	return r + (off-r*(q+1))/q
+}
+
+// Forall is the high-level data-parallel loop: it splits the domain over
+// every core of every locale, spawning a fresh task per core each call
+// (the per-step overhead that part 2 of the assignment eliminates).
+func (s *System) Forall(d Domain, body func(i int)) {
+	n := d.Size()
+	if n <= 0 {
+		return
+	}
+	tasks := s.TotalCores()
+	if tasks > n {
+		tasks = n
+	}
+	var wg sync.WaitGroup
+	wg.Add(tasks)
+	for t := 0; t < tasks; t++ {
+		lo := d.Lo + t*n/tasks
+		hi := d.Lo + (t+1)*n/tasks
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForallBlock runs body once per locale, concurrently, passing each locale
+// its owned sub-domain — the distributed forall over a Block-distributed
+// array, where each locale iterates only its local block.
+func (b *BlockDist) ForallBlock(body func(loc *Locale, local Domain)) {
+	b.sys.OnEach(func(l *Locale) {
+		body(l, b.LocalDomain(l.ID))
+	})
+}
+
+// Coforall spawns exactly one task per iteration and waits for all of
+// them — Chapel's coforall, used to create persistent per-task workers.
+func Coforall(n int, body func(tid int)) {
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for t := 0; t < n; t++ {
+		go func(t int) {
+			defer wg.Done()
+			body(t)
+		}(t)
+	}
+	wg.Wait()
+}
+
+// Barrier is a reusable cyclic barrier for a fixed number of parties,
+// matching Chapel's Barrier type. Each Wait blocks until all parties have
+// called it, then all are released and the barrier resets.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   uint64
+}
+
+// NewBarrier creates a barrier for parties tasks.
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		panic("locale: barrier needs at least one party")
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Wait blocks until all parties arrive.
+func (b *Barrier) Wait() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// BlockArray is a float64 array distributed per LocalDomain chunks, with
+// global indexed access that routes to the owning locale's chunk (the
+// communication a real Chapel Block array would perform).
+type BlockArray struct {
+	dist   *BlockDist
+	chunks [][]float64
+	// RemoteReads counts accesses that crossed locale boundaries relative
+	// to an accessor's home locale (when accessed via LocalView).
+}
+
+// NewArray allocates a distributed array over the block distribution.
+func (b *BlockDist) NewArray() *BlockArray {
+	a := &BlockArray{dist: b, chunks: make([][]float64, b.sys.NumLocales())}
+	for i := range a.chunks {
+		a.chunks[i] = make([]float64, b.LocalDomain(i).Size())
+	}
+	return a
+}
+
+// Dist returns the array's distribution.
+func (a *BlockArray) Dist() *BlockDist { return a.dist }
+
+// At reads global index i.
+func (a *BlockArray) At(i int) float64 {
+	loc := a.dist.LocaleOf(i)
+	return a.chunks[loc][i-a.dist.LocalDomain(loc).Lo]
+}
+
+// Set writes global index i.
+func (a *BlockArray) Set(i int, v float64) {
+	loc := a.dist.LocaleOf(i)
+	a.chunks[loc][i-a.dist.LocalDomain(loc).Lo] = v
+}
+
+// Local returns locale loc's chunk, aliasing the storage; index 0 of the
+// chunk is global index LocalDomain(loc).Lo.
+func (a *BlockArray) Local(loc int) []float64 { return a.chunks[loc] }
+
+// Swap exchanges the storage of two arrays over the same distribution —
+// the u/un pointer swap of the heat solver's time loop.
+func (a *BlockArray) Swap(other *BlockArray) {
+	if a.dist != other.dist {
+		panic("locale: Swap across different distributions")
+	}
+	a.chunks, other.chunks = other.chunks, a.chunks
+}
+
+// ToSlice gathers the distributed array into one local slice.
+func (a *BlockArray) ToSlice() []float64 {
+	out := make([]float64, 0, a.dist.dom.Size())
+	for _, c := range a.chunks {
+		out = append(out, c...)
+	}
+	return out
+}

@@ -1,0 +1,380 @@
+package locale
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestDomainBasics(t *testing.T) {
+	d := Dom(2, 10)
+	if d.Size() != 8 {
+		t.Errorf("size %d", d.Size())
+	}
+	if !d.Contains(2) || d.Contains(10) || d.Contains(1) {
+		t.Error("Contains wrong")
+	}
+	in := d.Interior(1)
+	if in.Lo != 3 || in.Hi != 9 {
+		t.Errorf("interior %v", in)
+	}
+	if Dom(5, 3).Size() != 0 {
+		t.Error("inverted domain should be empty")
+	}
+	if d.String() != "{2..<10}" {
+		t.Errorf("string %q", d.String())
+	}
+}
+
+func TestBlockDistPartition(t *testing.T) {
+	sys := NewSystem(3, 2)
+	b := sys.Block(Dom(0, 10))
+	// Sizes 4,3,3.
+	sizes := []int{4, 3, 3}
+	prev := 0
+	for loc := 0; loc < 3; loc++ {
+		ld := b.LocalDomain(loc)
+		if ld.Size() != sizes[loc] {
+			t.Errorf("locale %d size %d want %d", loc, ld.Size(), sizes[loc])
+		}
+		if ld.Lo != prev {
+			t.Errorf("locale %d lo %d want %d", loc, ld.Lo, prev)
+		}
+		prev = ld.Hi
+	}
+	if prev != 10 {
+		t.Error("blocks do not cover domain")
+	}
+}
+
+func TestLocaleOfConsistentWithLocalDomain(t *testing.T) {
+	f := func(n uint8, p uint8, off int8) bool {
+		nn := int(n)%200 + 1
+		pp := int(p)%7 + 1
+		lo := int(off)
+		sys := NewSystem(pp, 1)
+		b := sys.Block(Dom(lo, lo+nn))
+		for i := lo; i < lo+nn; i++ {
+			loc := b.LocaleOf(i)
+			if !b.LocalDomain(loc).Contains(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocaleOfPanicsOutside(t *testing.T) {
+	sys := NewSystem(2, 1)
+	b := sys.Block(Dom(0, 4))
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-domain LocaleOf did not panic")
+		}
+	}()
+	b.LocaleOf(4)
+}
+
+func TestForallVisitsEachOnce(t *testing.T) {
+	sys := NewSystem(2, 3)
+	const n = 500
+	seen := make([]int32, n)
+	sys.Forall(Dom(0, n), func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+	// Empty domain is a no-op.
+	sys.Forall(Dom(3, 3), func(i int) { t.Error("called on empty domain") })
+}
+
+func TestForallBlockOwnership(t *testing.T) {
+	sys := NewSystem(4, 2)
+	b := sys.Block(Dom(0, 103))
+	var total int64
+	b.ForallBlock(func(loc *Locale, local Domain) {
+		atomic.AddInt64(&total, int64(local.Size()))
+		if b.LocaleOf(local.Lo) != loc.ID {
+			t.Errorf("locale %d got foreign block %v", loc.ID, local)
+		}
+	})
+	if total != 103 {
+		t.Errorf("blocks cover %d indices", total)
+	}
+}
+
+func TestCoforallSpawnsExactlyN(t *testing.T) {
+	var ids sync.Map
+	Coforall(17, func(tid int) { ids.Store(tid, true) })
+	count := 0
+	ids.Range(func(_, _ any) bool { count++; return true })
+	if count != 17 {
+		t.Errorf("saw %d distinct tids", count)
+	}
+}
+
+func TestOnEachRunsPerLocale(t *testing.T) {
+	sys := NewSystem(5, 1)
+	var mask int64
+	sys.OnEach(func(l *Locale) { atomic.AddInt64(&mask, 1<<l.ID) })
+	if mask != 31 {
+		t.Errorf("mask %b", mask)
+	}
+}
+
+func TestBarrierPhases(t *testing.T) {
+	const parties, rounds = 4, 50
+	b := NewBarrier(parties)
+	var counter int64
+	errs := make(chan string, parties)
+	Coforall(parties, func(tid int) {
+		for r := 0; r < rounds; r++ {
+			atomic.AddInt64(&counter, 1)
+			b.Wait()
+			// After the barrier, every party of this round has
+			// incremented.
+			if c := atomic.LoadInt64(&counter); c < int64((r+1)*parties) {
+				errs <- "barrier released early"
+				return
+			}
+			b.Wait()
+		}
+	})
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	if counter != parties*rounds {
+		t.Errorf("counter %d", counter)
+	}
+}
+
+func TestBarrierValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(0)
+}
+
+func TestBlockArrayGlobalIndexing(t *testing.T) {
+	sys := NewSystem(3, 1)
+	b := sys.Block(Dom(0, 10))
+	a := b.NewArray()
+	for i := 0; i < 10; i++ {
+		a.Set(i, float64(i*i))
+	}
+	for i := 0; i < 10; i++ {
+		if a.At(i) != float64(i*i) {
+			t.Fatalf("At(%d) = %v", i, a.At(i))
+		}
+	}
+	s := a.ToSlice()
+	if len(s) != 10 || s[7] != 49 {
+		t.Errorf("ToSlice %v", s)
+	}
+}
+
+func TestBlockArrayLocalAliases(t *testing.T) {
+	sys := NewSystem(2, 1)
+	b := sys.Block(Dom(0, 6))
+	a := b.NewArray()
+	a.Local(1)[0] = 42 // global index 3
+	if a.At(3) != 42 {
+		t.Error("Local chunk does not alias storage")
+	}
+}
+
+func TestBlockArraySwap(t *testing.T) {
+	sys := NewSystem(2, 1)
+	b := sys.Block(Dom(0, 4))
+	u, un := b.NewArray(), b.NewArray()
+	u.Set(0, 1)
+	un.Set(0, 2)
+	u.Swap(un)
+	if u.At(0) != 2 || un.At(0) != 1 {
+		t.Error("swap failed")
+	}
+	other := sys.Block(Dom(0, 4))
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-dist swap did not panic")
+		}
+	}()
+	u.Swap(other.NewArray())
+}
+
+func TestSystemValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewSystem(0,0) did not panic")
+		}
+	}()
+	NewSystem(0, 0)
+}
+
+func TestTotalCores(t *testing.T) {
+	if NewSystem(3, 4).TotalCores() != 12 {
+		t.Error("TotalCores wrong")
+	}
+}
+
+func BenchmarkForallVsCoforallSpawn(b *testing.B) {
+	sys := NewSystem(4, 2)
+	d := Dom(0, 10000)
+	b.Run("ForallPerCall", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys.Forall(d, func(int) {})
+		}
+	})
+	b.Run("CoforallPersistent", func(b *testing.B) {
+		// One spawn, b.N barrier-synchronised rounds.
+		parties := sys.NumLocales()
+		bar := NewBarrier(parties)
+		done := make(chan struct{})
+		b.ResetTimer()
+		Coforall(parties, func(tid int) {
+			for i := 0; i < b.N; i++ {
+				lo := tid * d.Size() / parties
+				hi := (tid + 1) * d.Size() / parties
+				_ = lo
+				_ = hi
+				bar.Wait()
+			}
+			if tid == 0 {
+				close(done)
+			}
+		})
+		<-done
+	})
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	bar := NewBarrier(1)
+	for i := 0; i < b.N; i++ {
+		bar.Wait()
+	}
+}
+
+func TestCyclicDistCoverage(t *testing.T) {
+	sys := NewSystem(3, 1)
+	c := sys.Cyclic(Dom(10, 30))
+	seen := map[int]int{}
+	total := 0
+	for loc := 0; loc < 3; loc++ {
+		owned := c.OwnedBy(loc)
+		if len(owned) != c.LocalSize(loc) {
+			t.Errorf("locale %d owns %d, LocalSize says %d", loc, len(owned), c.LocalSize(loc))
+		}
+		for _, i := range owned {
+			seen[i]++
+			if c.LocaleOf(i) != loc {
+				t.Errorf("index %d: LocaleOf %d, owner %d", i, c.LocaleOf(i), loc)
+			}
+		}
+		total += len(owned)
+	}
+	if total != 20 {
+		t.Errorf("covered %d of 20", total)
+	}
+	for i := 10; i < 30; i++ {
+		if seen[i] != 1 {
+			t.Errorf("index %d seen %d times", i, seen[i])
+		}
+	}
+}
+
+func TestCyclicBalancesBetterThanBlockForTriangularWork(t *testing.T) {
+	// Work(i) = i: block gives the last locale far more work; cyclic
+	// nearly equalises.
+	sys := NewSystem(4, 1)
+	n := 1000
+	work := func(indices []int) int {
+		s := 0
+		for _, i := range indices {
+			s += i
+		}
+		return s
+	}
+	blockMax, cycMax := 0, 0
+	b := sys.Block(Dom(0, n))
+	for loc := 0; loc < 4; loc++ {
+		ld := b.LocalDomain(loc)
+		var idx []int
+		for i := ld.Lo; i < ld.Hi; i++ {
+			idx = append(idx, i)
+		}
+		if w := work(idx); w > blockMax {
+			blockMax = w
+		}
+	}
+	cd := sys.Cyclic(Dom(0, n))
+	for loc := 0; loc < 4; loc++ {
+		if w := work(cd.OwnedBy(loc)); w > cycMax {
+			cycMax = w
+		}
+	}
+	if cycMax >= blockMax {
+		t.Errorf("cyclic max work %d not below block max %d", cycMax, blockMax)
+	}
+}
+
+func TestCyclicLocaleOfPanics(t *testing.T) {
+	sys := NewSystem(2, 1)
+	c := sys.Cyclic(Dom(0, 4))
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-domain accepted")
+		}
+	}()
+	c.LocaleOf(4)
+}
+
+func TestForallCyclic(t *testing.T) {
+	sys := NewSystem(3, 1)
+	c := sys.Cyclic(Dom(0, 10))
+	var count int64
+	c.ForallCyclic(func(l *Locale, idx []int) {
+		atomic.AddInt64(&count, int64(len(idx)))
+	})
+	if count != 10 {
+		t.Errorf("visited %d", count)
+	}
+}
+
+func TestCyclicOwnershipPartitionProperty(t *testing.T) {
+	f := func(n uint8, p uint8, off int8) bool {
+		nn := int(n)%150 + 1
+		pp := int(p)%6 + 1
+		lo := int(off)
+		sys := NewSystem(pp, 1)
+		c := sys.Cyclic(Dom(lo, lo+nn))
+		seen := map[int]int{}
+		for loc := 0; loc < pp; loc++ {
+			for _, i := range c.OwnedBy(loc) {
+				if c.LocaleOf(i) != loc {
+					return false
+				}
+				seen[i]++
+			}
+		}
+		if len(seen) != nn {
+			return false
+		}
+		for _, count := range seen {
+			if count != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package mapreduce is a MapReduce framework in the style of MapReduce-MPI
+// (Plimpton & Devine), the library the kNN assignment is built on (paper
+// §2). Jobs run SPMD on a cluster.World: every rank maps its local inputs
+// to key-value pairs, optionally combines them locally ("local reductions
+// at each rank", the optimisation the assignment highlights), exchanges
+// pairs so that each key lands on the rank it hashes to (load balancing
+// through hashing), and reduces each key's values.
+package mapreduce
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Pair is one emitted key-value pair.
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// batch is the unit exchanged between ranks; it reports its wire size to
+// the cluster cost model so combiner experiments measure real traffic.
+type batch[K comparable, V any] struct {
+	pairs     []Pair[K, V]
+	pairBytes int
+}
+
+// WireSize implements cluster.Sizer.
+func (b batch[K, V]) WireSize() int { return len(b.pairs) * b.pairBytes }
+
+// Job describes a MapReduce computation over inputs of type I, emitting
+// (K, V) pairs and reducing each key to an R.
+type Job[I any, K comparable, V, R any] struct {
+	// Map processes one input and emits any number of pairs.
+	Map func(in I, emit func(K, V))
+	// Combine, when non-nil, folds the locally emitted values of a key
+	// into a single value before the exchange, cutting communication.
+	Combine func(k K, vs []V) V
+	// Reduce folds all values of a key (gathered from every rank) into
+	// the final result.
+	Reduce func(k K, vs []V) R
+	// PairBytes is the modeled wire size of one pair for the cost model;
+	// 0 means the default of 16 bytes.
+	PairBytes int
+}
+
+// Run executes the job on rank c with this rank's local inputs and returns
+// the reduced results for the keys that hash to this rank. Every rank must
+// call Run collectively.
+func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
+	if j.Map == nil || j.Reduce == nil {
+		panic("mapreduce: Job needs Map and Reduce")
+	}
+	pairBytes := j.PairBytes
+	if pairBytes <= 0 {
+		pairBytes = 16
+	}
+	size := c.Size()
+
+	// Map phase: bucket emissions by destination rank.
+	buckets := make([]map[K][]V, size)
+	for r := range buckets {
+		buckets[r] = make(map[K][]V)
+	}
+	emit := func(k K, v V) {
+		dst := int(hashKey(k) % uint64(size))
+		buckets[dst][k] = append(buckets[dst][k], v)
+	}
+	for _, in := range inputs {
+		j.Map(in, emit)
+	}
+
+	// Optional combine phase: fold each key's local values to one.
+	if j.Combine != nil {
+		for _, b := range buckets {
+			for k, vs := range b {
+				if len(vs) > 1 {
+					b[k] = []V{j.Combine(k, vs)}
+				}
+			}
+		}
+	}
+
+	// Aggregate phase: total exchange of pair batches.
+	parts := make([]batch[K, V], size)
+	for r, b := range buckets {
+		var ps []Pair[K, V]
+		for k, vs := range b {
+			for _, v := range vs {
+				ps = append(ps, Pair[K, V]{k, v})
+			}
+		}
+		parts[r] = batch[K, V]{pairs: ps, pairBytes: pairBytes}
+	}
+	incoming := cluster.Alltoall(c, parts)
+
+	// Collate phase: group received pairs by key.
+	grouped := make(map[K][]V)
+	for _, bt := range incoming {
+		for _, p := range bt.pairs {
+			grouped[p.Key] = append(grouped[p.Key], p.Value)
+		}
+	}
+
+	// Reduce phase.
+	out := make(map[K]R, len(grouped))
+	for k, vs := range grouped {
+		out[k] = j.Reduce(k, vs)
+	}
+	return out
+}
+
+// RunToRoot runs the job and gathers every rank's reduced results onto
+// rank 0, returning the merged map there (nil on other ranks).
+func (j *Job[I, K, V, R]) RunToRoot(c *cluster.Comm, inputs []I) map[K]R {
+	local := j.Run(c, inputs)
+	all := cluster.Gather(c, 0, local)
+	if c.Rank() != 0 {
+		return nil
+	}
+	merged := make(map[K]R)
+	for _, m := range all {
+		for k, v := range m {
+			merged[k] = v
+		}
+	}
+	return merged
+}
+
+// hashKey maps a comparable key to a rank-assignment hash, deterministic
+// across runs so experiment traffic counts are reproducible.
+func hashKey[K comparable](k K) uint64 {
+	switch v := any(k).(type) {
+	case int:
+		return mix(uint64(v))
+	case int32:
+		return mix(uint64(v))
+	case int64:
+		return mix(uint64(v))
+	case uint64:
+		return mix(v)
+	case string:
+		return fnv1a(v)
+	default:
+		return fnv1a(fmt.Sprint(v))
+	}
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+func fnv1a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,230 @@
+// Package mnistgen procedurally generates MNIST-like digit images: the
+// offline stand-in for the MNIST dataset the hyper-parameter-optimisation
+// assignment trains on (paper §7). Digits are rendered from seven-segment
+// strokes onto a 14x14 grid with per-sample jitter (translation, stroke
+// intensity, pixel noise), which gives a classification task that small
+// fully-connected networks learn well but not perfectly. Out-of-
+// distribution corruptions (occlusion "graffiti", inversion, heavy noise)
+// and ambiguous two-digit blends drive the uncertainty experiments of
+// Figure 4.
+package mnistgen
+
+import (
+	"math"
+
+	"repro/internal/dataio"
+	"repro/internal/prng"
+)
+
+// Side is the image edge length; images are Side*Side float64s in [0, 1].
+const Side = 14
+
+// Pixels is the flattened image size.
+const Pixels = Side * Side
+
+// segment bitmasks (standard seven-segment layout).
+const (
+	segA = 1 << iota // top
+	segB             // top right
+	segC             // bottom right
+	segD             // bottom
+	segE             // bottom left
+	segF             // top left
+	segG             // middle
+)
+
+// digitSegments maps each digit to its lit segments.
+var digitSegments = [10]int{
+	segA | segB | segC | segD | segE | segF,        // 0
+	segB | segC,                                    // 1
+	segA | segB | segG | segE | segD,               // 2
+	segA | segB | segG | segC | segD,               // 3
+	segF | segG | segB | segC,                      // 4
+	segA | segF | segG | segC | segD,               // 5
+	segA | segF | segG | segE | segC | segD,        // 6
+	segA | segB | segC,                             // 7
+	segA | segB | segC | segD | segE | segF | segG, // 8
+	segA | segB | segC | segD | segF | segG,        // 9
+}
+
+// segment endpoints on a unit box (x0,y0,x1,y1), y grows downward.
+var segLines = map[int][4]float64{
+	segA: {0, 0, 1, 0},
+	segB: {1, 0, 1, 0.5},
+	segC: {1, 0.5, 1, 1},
+	segD: {0, 1, 1, 1},
+	segE: {0, 0.5, 0, 1},
+	segF: {0, 0, 0, 0.5},
+	segG: {0, 0.5, 1, 0.5},
+}
+
+// Render draws digit (0-9) with the given jitter source. Returned pixels
+// are in [0, 1].
+func Render(digit int, r *prng.Rand) []float64 {
+	if digit < 0 || digit > 9 {
+		panic("mnistgen: digit out of range")
+	}
+	img := make([]float64, Pixels)
+	// Jittered box placement, stroke and rotation.
+	ox := 3.5 + r.Range(-1, 1)
+	oy := 2.0 + r.Range(-1, 1)
+	w := 7.0 + r.Range(-0.8, 0.8)
+	h := 10.0 + r.Range(-0.8, 0.8)
+	intensity := r.Range(0.75, 1.0)
+	thick := r.Range(0.55, 0.85)
+	angle := r.Range(-0.12, 0.12)
+	sin, cos := math.Sin(angle), math.Cos(angle)
+	cx, cy := ox+w/2, oy+h/2
+	rot := func(x, y float64) (float64, float64) {
+		dx, dy := x-cx, y-cy
+		return cx + dx*cos - dy*sin, cy + dx*sin + dy*cos
+	}
+
+	segs := digitSegments[digit]
+	for seg, ln := range segLines {
+		if segs&seg == 0 {
+			continue
+		}
+		x0, y0 := rot(ox+ln[0]*w, oy+ln[1]*h)
+		x1, y1 := rot(ox+ln[2]*w, oy+ln[3]*h)
+		drawLine(img, x0, y0, x1, y1, thick, intensity)
+	}
+	// Background noise.
+	for i := range img {
+		img[i] += r.Range(0, 0.08)
+		if img[i] > 1 {
+			img[i] = 1
+		}
+	}
+	return img
+}
+
+// drawLine stamps an anti-aliased thick segment onto the image.
+func drawLine(img []float64, x0, y0, x1, y1, thick, intensity float64) {
+	steps := 2 * Side
+	for s := 0; s <= steps; s++ {
+		t := float64(s) / float64(steps)
+		cx := x0 + (x1-x0)*t
+		cy := y0 + (y1-y0)*t
+		lo := int(-thick - 1)
+		hi := int(thick + 1)
+		for dy := lo; dy <= hi; dy++ {
+			for dx := lo; dx <= hi; dx++ {
+				px, py := int(cx)+dx, int(cy)+dy
+				if px < 0 || px >= Side || py < 0 || py >= Side {
+					continue
+				}
+				ddx := float64(px) + 0.5 - cx
+				ddy := float64(py) + 0.5 - cy
+				d2 := ddx*ddx + ddy*ddy
+				if d2 <= thick*thick {
+					idx := py*Side + px
+					if img[idx] < intensity {
+						img[idx] = intensity
+					}
+				}
+			}
+		}
+	}
+}
+
+// Generate builds a labelled dataset of n digit images (uniform class
+// mix). The dataio.Dataset has Dim=Pixels and Classes=10.
+func Generate(seed uint64, n int) *dataio.Dataset {
+	r := prng.New(seed)
+	ds := &dataio.Dataset{Dim: Pixels, Classes: 10,
+		Points: make([][]float64, n), Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		d := r.Intn(10)
+		ds.Points[i] = Render(d, r)
+		ds.Labels[i] = d
+	}
+	return ds
+}
+
+// Corruption is an out-of-distribution transformation.
+type Corruption int
+
+const (
+	// Occlude stamps an opaque block over a third of the image — the
+	// "graffitied stop sign" failure mode.
+	Occlude Corruption = iota
+	// Invert flips every pixel.
+	Invert
+	// Noise replaces 60% of pixels with uniform noise.
+	Noise
+)
+
+// Corrupt applies an OOD transformation in place and returns the image.
+func Corrupt(img []float64, c Corruption, r *prng.Rand) []float64 {
+	switch c {
+	case Occlude:
+		bx := r.Intn(Side - 5)
+		by := r.Intn(Side - 5)
+		for y := by; y < by+5; y++ {
+			for x := bx; x < bx+5; x++ {
+				img[y*Side+x] = 1
+			}
+		}
+	case Invert:
+		for i := range img {
+			img[i] = 1 - img[i]
+		}
+	case Noise:
+		for i := range img {
+			if r.Bernoulli(0.6) {
+				img[i] = r.Float64()
+			}
+		}
+	}
+	return img
+}
+
+// GenerateOOD builds n corrupted digit images (labels retained, cycling
+// through corruption kinds) for the uncertainty-separation experiment.
+func GenerateOOD(seed uint64, n int) *dataio.Dataset {
+	r := prng.New(seed)
+	ds := &dataio.Dataset{Dim: Pixels, Classes: 10,
+		Points: make([][]float64, n), Labels: make([]int, n)}
+	for i := 0; i < n; i++ {
+		d := r.Intn(10)
+		img := Render(d, r)
+		Corrupt(img, Corruption(i%3), r)
+		ds.Points[i] = img
+		ds.Labels[i] = d
+	}
+	return ds
+}
+
+// Ambiguous renders a 50/50 pixel-wise blend of digits a and b — the
+// "confusing even for humans" input of Figure 4a.
+func Ambiguous(a, b int, r *prng.Rand) []float64 {
+	ia := Render(a, r)
+	ib := Render(b, r)
+	out := make([]float64, Pixels)
+	for i := range out {
+		out[i] = (ia[i] + ib[i]) / 2
+	}
+	return out
+}
+
+// Ascii renders an image as Side lines of density characters (for the
+// textual Figure 4 exhibit).
+func Ascii(img []float64) string {
+	ramp := []byte(" .:-=+*#%@")
+	out := make([]byte, 0, (Side+1)*Side)
+	for y := 0; y < Side; y++ {
+		for x := 0; x < Side; x++ {
+			v := img[y*Side+x]
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			out = append(out, ramp[int(v*float64(len(ramp)-1))])
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

@@ -1,0 +1,157 @@
+package mnistgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/prng"
+)
+
+func TestRenderShapeAndRange(t *testing.T) {
+	r := prng.New(1)
+	for d := 0; d <= 9; d++ {
+		img := Render(d, r)
+		if len(img) != Pixels {
+			t.Fatalf("digit %d: %d pixels", d, len(img))
+		}
+		lit := 0
+		for _, v := range img {
+			if v < 0 || v > 1 {
+				t.Fatalf("digit %d: pixel %v out of range", d, v)
+			}
+			if v > 0.5 {
+				lit++
+			}
+		}
+		if lit < 8 {
+			t.Errorf("digit %d: only %d lit pixels", d, lit)
+		}
+	}
+}
+
+func TestRenderPanicsOnBadDigit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Render(10) did not panic")
+		}
+	}()
+	Render(10, prng.New(1))
+}
+
+func TestDigitsAreDistinguishable(t *testing.T) {
+	// Mean images of different digits must differ more than jittered
+	// samples of the same digit.
+	mean := func(d int, seed uint64) []float64 {
+		r := prng.New(seed)
+		m := make([]float64, Pixels)
+		const n = 30
+		for i := 0; i < n; i++ {
+			img := Render(d, r)
+			for j, v := range img {
+				m[j] += v / n
+			}
+		}
+		return m
+	}
+	m1a, m1b := mean(1, 1), mean(1, 2)
+	m8 := mean(8, 3)
+	same := linalg.SqDist(m1a, m1b)
+	diff := linalg.SqDist(m1a, m8)
+	if diff < 4*same {
+		t.Errorf("digit separation weak: same=%v diff=%v", same, diff)
+	}
+}
+
+func TestGenerateDataset(t *testing.T) {
+	ds := Generate(5, 300)
+	if ds.Len() != 300 || ds.Dim != Pixels || ds.Classes != 10 {
+		t.Fatalf("shape %d %d %d", ds.Len(), ds.Dim, ds.Classes)
+	}
+	if err := ds.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic per seed.
+	ds2 := Generate(5, 300)
+	for i := range ds.Points {
+		if linalg.SqDist(ds.Points[i], ds2.Points[i]) != 0 {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestCorruptions(t *testing.T) {
+	r := prng.New(7)
+	base := Render(3, r)
+
+	occ := Corrupt(append([]float64(nil), base...), Occlude, prng.New(8))
+	if linalg.SqDist(base, occ) == 0 {
+		t.Error("occlusion changed nothing")
+	}
+
+	inv := Corrupt(append([]float64(nil), base...), Invert, prng.New(8))
+	for i := range base {
+		if inv[i] != 1-base[i] {
+			t.Fatal("invert wrong")
+		}
+	}
+
+	noisy := Corrupt(append([]float64(nil), base...), Noise, prng.New(8))
+	changed := 0
+	for i := range base {
+		if noisy[i] != base[i] {
+			changed++
+		}
+	}
+	if changed < Pixels/3 {
+		t.Errorf("noise changed only %d pixels", changed)
+	}
+}
+
+func TestGenerateOOD(t *testing.T) {
+	ood := GenerateOOD(9, 90)
+	if ood.Len() != 90 {
+		t.Fatal("OOD size")
+	}
+	if err := ood.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// OOD images must differ substantially from clean ones on average.
+	clean := Generate(9, 90)
+	var d float64
+	for i := range ood.Points {
+		d += linalg.SqDist(ood.Points[i], clean.Points[i])
+	}
+	if d == 0 {
+		t.Error("OOD identical to clean")
+	}
+}
+
+func TestAmbiguousIsBetween(t *testing.T) {
+	amb := Ambiguous(4, 9, prng.New(11))
+	if len(amb) != Pixels {
+		t.Fatal("ambiguous size")
+	}
+	for _, v := range amb {
+		if v < 0 || v > 1 {
+			t.Fatal("ambiguous pixel out of range")
+		}
+	}
+}
+
+func TestAscii(t *testing.T) {
+	img := Render(0, prng.New(13))
+	s := Ascii(img)
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != Side {
+		t.Fatalf("ascii lines %d", len(lines))
+	}
+	for _, ln := range lines {
+		if len(ln) != Side {
+			t.Fatalf("ascii width %d", len(ln))
+		}
+	}
+	if !strings.ContainsAny(s, "#%@") {
+		t.Error("ascii render has no dark pixels")
+	}
+}

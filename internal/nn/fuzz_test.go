@@ -1,0 +1,28 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the model reader against corrupt files.
+func FuzzDecode(f *testing.F) {
+	var seed bytes.Buffer
+	net := New(3, 2, Config{Hidden: []int{4}, Seed: 1})
+	_ = net.Encode(&seed)
+	f.Add(seed.Bytes())
+	f.Add([]byte("PEACHNN\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted models must be usable.
+		probe := make([]float64, m.InputDim())
+		p := m.ProbsOne(probe)
+		if len(p) != m.Classes() {
+			t.Fatal("accepted model is inconsistent")
+		}
+	})
+}

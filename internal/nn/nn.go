@@ -1,0 +1,343 @@
+// Package nn is a from-scratch fully-connected neural network with
+// softmax cross-entropy training — the model substrate of the
+// hyper-parameter-optimisation assignment (paper §7). It supports
+// configurable hidden layers and activations, SGD with momentum,
+// mini-batch training, and deterministic Xavier initialisation from a
+// seed, so every ensemble member is reproducible.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataio"
+	"repro/internal/linalg"
+	"repro/internal/prng"
+)
+
+// Activation selects a hidden-layer nonlinearity.
+type Activation int
+
+const (
+	// ReLU is max(0, x).
+	ReLU Activation = iota
+	// Tanh is the hyperbolic tangent.
+	Tanh
+	// Sigmoid is the logistic function.
+	Sigmoid
+)
+
+// String names the activation.
+func (a Activation) String() string {
+	switch a {
+	case ReLU:
+		return "relu"
+	case Tanh:
+		return "tanh"
+	case Sigmoid:
+		return "sigmoid"
+	}
+	return "unknown"
+}
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case Tanh:
+		return math.Tanh(x)
+	default:
+		return 1 / (1 + math.Exp(-x))
+	}
+}
+
+// derivFromOutput returns the activation derivative expressed in terms of
+// the activation output y.
+func (a Activation) derivFromOutput(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case Tanh:
+		return 1 - y*y
+	default:
+		return y * (1 - y)
+	}
+}
+
+// Config is a hyper-parameter assignment for one network — the object the
+// HPO grid enumerates.
+type Config struct {
+	// Hidden lists hidden-layer widths (may be empty for a linear model).
+	Hidden []int
+	// Act is the hidden activation.
+	Act Activation
+	// LR is the SGD learning rate.
+	LR float64
+	// Momentum is the SGD momentum coefficient (0 disables).
+	Momentum float64
+	// WeightDecay is the L2 regularisation coefficient applied to
+	// weights (not biases); 0 disables.
+	WeightDecay float64
+	// Batch is the mini-batch size.
+	Batch int
+	// Epochs is how many passes to train.
+	Epochs int
+	// Seed initialises weights and shuffling.
+	Seed uint64
+}
+
+// String renders the config compactly for reports.
+func (c Config) String() string {
+	return fmt.Sprintf("h=%v act=%s lr=%g mom=%g batch=%d ep=%d seed=%d",
+		c.Hidden, c.Act, c.LR, c.Momentum, c.Batch, c.Epochs, c.Seed)
+}
+
+// dense is one fully-connected layer with momentum buffers.
+type dense struct {
+	w, b   *linalg.Matrix // w: in x out; b: 1 x out
+	vw, vb *linalg.Matrix // momentum velocities
+
+	// Scratch for backward.
+	lastIn  *linalg.Matrix
+	lastOut *linalg.Matrix
+}
+
+// Network is a trained or trainable MLP classifier.
+type Network struct {
+	cfg    Config
+	in     int
+	out    int
+	layers []*dense
+}
+
+// New builds a network for inputs of dimension in and out classes, with
+// weights initialised deterministically from cfg.Seed (Xavier uniform).
+func New(in, out int, cfg Config) *Network {
+	if in < 1 || out < 2 {
+		panic("nn: need in >= 1 and out >= 2")
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 32
+	}
+	if cfg.LR <= 0 {
+		cfg.LR = 0.1
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 5
+	}
+	r := prng.New(cfg.Seed)
+	sizes := append([]int{in}, cfg.Hidden...)
+	sizes = append(sizes, out)
+	n := &Network{cfg: cfg, in: in, out: out}
+	for l := 0; l < len(sizes)-1; l++ {
+		fanIn, fanOut := sizes[l], sizes[l+1]
+		limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+		d := &dense{
+			w:  linalg.NewMatrix(fanIn, fanOut),
+			b:  linalg.NewMatrix(1, fanOut),
+			vw: linalg.NewMatrix(fanIn, fanOut),
+			vb: linalg.NewMatrix(1, fanOut),
+		}
+		for i := range d.w.Data {
+			d.w.Data[i] = r.Range(-limit, limit)
+		}
+		n.layers = append(n.layers, d)
+	}
+	return n
+}
+
+// Config returns the network's hyper-parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// InputDim returns the expected input dimension.
+func (n *Network) InputDim() int { return n.in }
+
+// Classes returns the number of output classes.
+func (n *Network) Classes() int { return n.out }
+
+// forward runs a batch through the network, caching intermediates for
+// backward when train is true. Returns the logits.
+func (n *Network) forward(x *linalg.Matrix, train bool) *linalg.Matrix {
+	cur := x
+	for li, l := range n.layers {
+		out := linalg.NewMatrix(cur.Rows, l.w.Cols)
+		linalg.MatMul(out, cur, l.w)
+		linalg.AddRowVec(out, l.b.Row(0))
+		if li < len(n.layers)-1 {
+			for i := range out.Data {
+				out.Data[i] = n.cfg.Act.apply(out.Data[i])
+			}
+		}
+		if train {
+			l.lastIn = cur
+			l.lastOut = out
+		}
+		cur = out
+	}
+	return cur
+}
+
+// Probs returns the softmax class probabilities for a batch (rows are
+// samples).
+func (n *Network) Probs(x *linalg.Matrix) *linalg.Matrix {
+	logits := n.forward(x, false)
+	for i := 0; i < logits.Rows; i++ {
+		linalg.Softmax(logits.Row(i), logits.Row(i))
+	}
+	return logits
+}
+
+// ProbsOne returns class probabilities for a single sample.
+func (n *Network) ProbsOne(x []float64) []float64 {
+	m := linalg.FromRows([][]float64{x})
+	return n.Probs(m).Row(0)
+}
+
+// Predict returns the argmax class per batch row.
+func (n *Network) Predict(x *linalg.Matrix) []int {
+	logits := n.forward(x, false)
+	out := make([]int, logits.Rows)
+	for i := range out {
+		out[i] = linalg.Argmax(logits.Row(i))
+	}
+	return out
+}
+
+// TrainBatch performs one SGD step on a batch and returns the mean
+// cross-entropy loss before the step.
+func (n *Network) TrainBatch(x *linalg.Matrix, labels []int) float64 {
+	if x.Rows != len(labels) {
+		panic("nn: batch size mismatch")
+	}
+	logits := n.forward(x, true)
+	batch := float64(x.Rows)
+
+	// Softmax + CE and its gradient.
+	loss := 0.0
+	grad := linalg.NewMatrix(logits.Rows, logits.Cols)
+	for i := 0; i < logits.Rows; i++ {
+		p := grad.Row(i)
+		linalg.Softmax(p, logits.Row(i))
+		li := p[labels[i]]
+		if li < 1e-12 {
+			li = 1e-12
+		}
+		loss -= math.Log(li)
+		p[labels[i]] -= 1
+		linalg.Scale(1/batch, p)
+	}
+	loss /= batch
+
+	// Backprop through layers.
+	delta := grad
+	for li := len(n.layers) - 1; li >= 0; li-- {
+		l := n.layers[li]
+		if li < len(n.layers)-1 {
+			// Apply activation derivative of this layer's output.
+			out := l.lastOut
+			for i := range delta.Data {
+				delta.Data[i] *= n.cfg.Act.derivFromOutput(out.Data[i])
+			}
+		}
+		dw := linalg.NewMatrix(l.w.Rows, l.w.Cols)
+		linalg.MatMulATB(dw, l.lastIn, delta)
+		db := linalg.NewMatrix(1, l.b.Cols)
+		for i := 0; i < delta.Rows; i++ {
+			linalg.Axpy(1, delta.Row(i), db.Row(0))
+		}
+		var next *linalg.Matrix
+		if li > 0 {
+			next = linalg.NewMatrix(delta.Rows, l.w.Rows)
+			linalg.MatMulABT(next, delta, l.w)
+		}
+		// Momentum update with L2 decay: v = mom*v - lr*(g + wd*w).
+		for i := range l.w.Data {
+			g := dw.Data[i] + n.cfg.WeightDecay*l.w.Data[i]
+			l.vw.Data[i] = n.cfg.Momentum*l.vw.Data[i] - n.cfg.LR*g
+			l.w.Data[i] += l.vw.Data[i]
+		}
+		for i := range l.b.Data {
+			l.vb.Data[i] = n.cfg.Momentum*l.vb.Data[i] - n.cfg.LR*db.Data[i]
+			l.b.Data[i] += l.vb.Data[i]
+		}
+		delta = next
+	}
+	return loss
+}
+
+// Fit trains on the dataset for cfg.Epochs epochs of shuffled mini-batches
+// and returns the final epoch's mean loss.
+func (n *Network) Fit(ds *dataio.Dataset) float64 {
+	return n.FitWithCallback(ds, nil)
+}
+
+// FitWithCallback is Fit with a per-epoch hook — the assignment's
+// "check the accuracy of the model at regular intervals" variation
+// (paper §7). after(epoch, meanLoss) runs after each epoch; returning
+// false stops training early.
+func (n *Network) FitWithCallback(ds *dataio.Dataset, after func(epoch int, meanLoss float64) bool) float64 {
+	if ds.Dim != n.in {
+		panic(fmt.Sprintf("nn: dataset dim %d, network expects %d", ds.Dim, n.in))
+	}
+	r := prng.New(n.cfg.Seed ^ 0xfeedface)
+	idx := make([]int, ds.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	lastLoss := 0.0
+	for ep := 0; ep < n.cfg.Epochs; ep++ {
+		prng.Shuffle(r, idx)
+		sum, batches := 0.0, 0
+		for lo := 0; lo < len(idx); lo += n.cfg.Batch {
+			hi := lo + n.cfg.Batch
+			if hi > len(idx) {
+				hi = len(idx)
+			}
+			rows := make([][]float64, hi-lo)
+			labels := make([]int, hi-lo)
+			for i := lo; i < hi; i++ {
+				rows[i-lo] = ds.Points[idx[i]]
+				labels[i-lo] = ds.Labels[idx[i]]
+			}
+			sum += n.TrainBatch(linalg.FromRows(rows), labels)
+			batches++
+		}
+		if batches > 0 {
+			lastLoss = sum / float64(batches)
+		}
+		if after != nil && !after(ep, lastLoss) {
+			break
+		}
+	}
+	return lastLoss
+}
+
+// Evaluate returns classification accuracy on the dataset.
+func (n *Network) Evaluate(ds *dataio.Dataset) float64 {
+	if ds.Len() == 0 {
+		return 0
+	}
+	pred := n.Predict(linalg.FromRows(ds.Points))
+	hits := 0
+	for i, p := range pred {
+		if p == ds.Labels[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(ds.Len())
+}
+
+// ParamCount returns the number of trainable parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, l := range n.layers {
+		total += len(l.w.Data) + len(l.b.Data)
+	}
+	return total
+}

@@ -1,0 +1,238 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataio"
+	"repro/internal/linalg"
+	"repro/internal/mnistgen"
+)
+
+// twoBlobs builds a linearly separable, standardized 2-class problem.
+func twoBlobs(n int) *dataio.Dataset {
+	return dataio.GaussianMixture(42, n, 2, 2, 3.0).Standardize()
+}
+
+func TestLearnsLinearlySeparable(t *testing.T) {
+	ds := twoBlobs(400)
+	train, test := ds.Split(300)
+	net := New(2, 2, Config{Hidden: []int{8}, Act: ReLU, LR: 0.05, Epochs: 30, Batch: 16, Seed: 1})
+	net.Fit(train)
+	if acc := net.Evaluate(test); acc < 0.95 {
+		t.Errorf("accuracy %v on separable blobs", acc)
+	}
+}
+
+func TestLossDecreases(t *testing.T) {
+	ds := twoBlobs(200)
+	net := New(2, 2, Config{Hidden: []int{8}, Act: Tanh, LR: 0.05, Epochs: 1, Batch: 20, Seed: 2})
+	x := linalg.FromRows(ds.Points)
+	first := net.TrainBatch(x, ds.Labels)
+	var last float64
+	for i := 0; i < 40; i++ {
+		last = net.TrainBatch(x, ds.Labels)
+	}
+	if last >= first {
+		t.Errorf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestGradientCheck(t *testing.T) {
+	// Numerical gradient check on a tiny network.
+	cfg := Config{Hidden: []int{3}, Act: Tanh, LR: 0, Momentum: 0, Batch: 1, Epochs: 1, Seed: 3}
+	x := linalg.FromRows([][]float64{{0.5, -0.3}})
+	labels := []int{1}
+
+	loss := func(net *Network) float64 {
+		logits := net.forward(x, false)
+		p := make([]float64, logits.Cols)
+		linalg.Softmax(p, logits.Row(0))
+		return -math.Log(p[labels[0]])
+	}
+
+	// Analytic gradient: clone weights, run TrainBatch with lr=1 and
+	// momentum=0; dW = old - new.
+	netA := New(2, 2, cfg)
+	netB := New(2, 2, cfg)
+	netB.cfg.LR = 1
+	before := netB.layers[0].w.Clone()
+	netB.TrainBatch(x, labels)
+	after := netB.layers[0].w
+
+	const eps = 1e-5
+	for i := range netA.layers[0].w.Data {
+		orig := netA.layers[0].w.Data[i]
+		netA.layers[0].w.Data[i] = orig + eps
+		lp := loss(netA)
+		netA.layers[0].w.Data[i] = orig - eps
+		lm := loss(netA)
+		netA.layers[0].w.Data[i] = orig
+		numGrad := (lp - lm) / (2 * eps)
+		anaGrad := before.Data[i] - after.Data[i]
+		if math.Abs(numGrad-anaGrad) > 1e-4 {
+			t.Fatalf("grad mismatch at %d: numeric %v analytic %v", i, numGrad, anaGrad)
+		}
+	}
+}
+
+func TestDeterministicFromSeed(t *testing.T) {
+	ds := twoBlobs(100)
+	cfg := Config{Hidden: []int{4}, LR: 0.1, Epochs: 3, Batch: 10, Seed: 7}
+	a := New(2, 2, cfg)
+	b := New(2, 2, cfg)
+	a.Fit(ds)
+	b.Fit(ds)
+	pa := a.ProbsOne(ds.Points[0])
+	pb := b.ProbsOne(ds.Points[0])
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("same seed, different model")
+		}
+	}
+	c := New(2, 2, Config{Hidden: []int{4}, LR: 0.1, Epochs: 3, Batch: 10, Seed: 8})
+	c.Fit(ds)
+	pc := c.ProbsOne(ds.Points[0])
+	if pa[0] == pc[0] && pa[1] == pc[1] {
+		t.Error("different seeds, identical model")
+	}
+}
+
+func TestProbsSumToOne(t *testing.T) {
+	net := New(5, 4, Config{Hidden: []int{6}, Seed: 9})
+	x := linalg.FromRows([][]float64{{1, 2, 3, 4, 5}, {0, 0, 0, 0, 0}})
+	p := net.Probs(x)
+	for i := 0; i < p.Rows; i++ {
+		sum := 0.0
+		for _, v := range p.Row(i) {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("row %d sums to %v", i, sum)
+		}
+	}
+}
+
+func TestMomentumAcceleratesConvergence(t *testing.T) {
+	ds := twoBlobs(200)
+	run := func(mom float64) float64 {
+		net := New(2, 2, Config{Hidden: []int{8}, LR: 0.005, Momentum: mom, Epochs: 5, Batch: 20, Seed: 10})
+		return net.Fit(ds)
+	}
+	plain := run(0)
+	fast := run(0.9)
+	if fast >= plain {
+		t.Errorf("momentum did not reduce final loss: %v vs %v", fast, plain)
+	}
+}
+
+func TestLinearModelNoHidden(t *testing.T) {
+	ds := twoBlobs(300)
+	net := New(2, 2, Config{Hidden: nil, LR: 0.05, Epochs: 20, Batch: 16, Seed: 11})
+	net.Fit(ds)
+	if acc := net.Evaluate(ds); acc < 0.9 {
+		t.Errorf("linear model accuracy %v", acc)
+	}
+}
+
+func TestLearnsSyntheticDigits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training in -short mode")
+	}
+	ds := mnistgen.Generate(21, 1500)
+	train, test := ds.Split(1200)
+	net := New(mnistgen.Pixels, 10, Config{Hidden: []int{32}, Act: ReLU, LR: 0.1, Momentum: 0.9, Epochs: 8, Batch: 32, Seed: 12})
+	net.Fit(train)
+	if acc := net.Evaluate(test); acc < 0.85 {
+		t.Errorf("digit accuracy %v, want >= 0.85", acc)
+	}
+}
+
+func TestParamCount(t *testing.T) {
+	net := New(10, 3, Config{Hidden: []int{7}, Seed: 1})
+	// 10*7+7 + 7*3+3 = 77 + 24 = 101
+	if got := net.ParamCount(); got != 101 {
+		t.Errorf("params %d", got)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad dims", func() { New(0, 2, Config{}) })
+	mustPanic("one class", func() { New(2, 1, Config{}) })
+	mustPanic("batch mismatch", func() {
+		net := New(2, 2, Config{Seed: 1})
+		net.TrainBatch(linalg.FromRows([][]float64{{1, 2}}), []int{0, 1})
+	})
+	mustPanic("dataset dim", func() {
+		net := New(3, 2, Config{Seed: 1})
+		net.Fit(twoBlobs(10))
+	})
+}
+
+func TestActivationNames(t *testing.T) {
+	if ReLU.String() != "relu" || Tanh.String() != "tanh" || Sigmoid.String() != "sigmoid" {
+		t.Error("activation names")
+	}
+	if Activation(9).String() != "unknown" {
+		t.Error("unknown activation name")
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := Config{Hidden: []int{4}, LR: 0.1}.String()
+	if s == "" {
+		t.Error("empty config string")
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	net := New(2, 2, Config{Seed: 1})
+	empty := &dataio.Dataset{Dim: 2, Classes: 2}
+	if net.Evaluate(empty) != 0 {
+		t.Error("empty evaluate")
+	}
+}
+
+func BenchmarkTrainBatch(b *testing.B) {
+	ds := mnistgen.Generate(1, 64)
+	net := New(mnistgen.Pixels, 10, Config{Hidden: []int{32}, Seed: 1})
+	x := linalg.FromRows(ds.Points)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainBatch(x, ds.Labels)
+	}
+}
+
+func TestWeightDecayShrinksWeights(t *testing.T) {
+	ds := twoBlobs(300)
+	norm := func(wd float64) float64 {
+		net := New(2, 2, Config{Hidden: []int{8}, LR: 0.05, WeightDecay: wd, Epochs: 20, Batch: 16, Seed: 14})
+		net.Fit(ds)
+		s := 0.0
+		for _, l := range net.layers {
+			for _, v := range l.w.Data {
+				s += v * v
+			}
+		}
+		return s
+	}
+	plain := norm(0)
+	decayed := norm(0.01)
+	if decayed >= plain {
+		t.Errorf("weight decay did not shrink weights: %v vs %v", decayed, plain)
+	}
+	// And the regularised model must still classify well.
+	net := New(2, 2, Config{Hidden: []int{8}, LR: 0.05, WeightDecay: 0.01, Epochs: 20, Batch: 16, Seed: 14})
+	net.Fit(ds)
+	if acc := net.Evaluate(ds); acc < 0.95 {
+		t.Errorf("regularised accuracy %v", acc)
+	}
+}

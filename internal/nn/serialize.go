@@ -1,0 +1,131 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/linalg"
+)
+
+// Model files are self-describing binary containers (same spirit as
+// heat's field files): magic, version, architecture, then layer weights.
+//
+//	magic   [8]byte  "PEACHNN\n"
+//	version uint32   (1)
+//	in      uint32
+//	out     uint32
+//	act     uint32
+//	nHidden uint32
+//	hidden  nHidden * uint32
+//	per layer: w (in*out float64), b (out float64)
+var modelMagic = [8]byte{'P', 'E', 'A', 'C', 'H', 'N', 'N', '\n'}
+
+// Encode serialises the trained network (weights only; optimiser state
+// and training hyper-parameters are not persisted).
+func (n *Network) Encode(w io.Writer) error {
+	if _, err := w.Write(modelMagic[:]); err != nil {
+		return err
+	}
+	header := []uint32{1, uint32(n.in), uint32(n.out), uint32(n.cfg.Act), uint32(len(n.cfg.Hidden))}
+	for _, h := range n.cfg.Hidden {
+		header = append(header, uint32(h))
+	}
+	if err := binary.Write(w, binary.LittleEndian, header); err != nil {
+		return err
+	}
+	for _, l := range n.layers {
+		if err := binary.Write(w, binary.LittleEndian, l.w.Data); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, l.b.Data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode deserialises a network written by Encode. The returned network
+// predicts identically to the saved one; training it further starts from
+// fresh optimiser state.
+func Decode(r io.Reader) (*Network, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("nn: reading magic: %w", err)
+	}
+	if magic != modelMagic {
+		return nil, fmt.Errorf("nn: bad magic %q", magic)
+	}
+	var fixed [5]uint32
+	if err := binary.Read(r, binary.LittleEndian, &fixed); err != nil {
+		return nil, fmt.Errorf("nn: reading header: %w", err)
+	}
+	if fixed[0] != 1 {
+		return nil, fmt.Errorf("nn: unsupported version %d", fixed[0])
+	}
+	in, out, act, nHidden := int(fixed[1]), int(fixed[2]), Activation(fixed[3]), int(fixed[4])
+	const maxWidth = 1 << 20
+	if in < 1 || in > maxWidth || out < 2 || out > maxWidth || nHidden > 64 {
+		return nil, fmt.Errorf("nn: implausible architecture in=%d out=%d hidden=%d", in, out, nHidden)
+	}
+	if in*out > 1<<26 {
+		return nil, fmt.Errorf("nn: implausible layer size %dx%d", in, out)
+	}
+	hidden := make([]uint32, nHidden)
+	if nHidden > 0 {
+		if err := binary.Read(r, binary.LittleEndian, hidden); err != nil {
+			return nil, fmt.Errorf("nn: reading hidden sizes: %w", err)
+		}
+	}
+	cfg := Config{Act: act}
+	for _, h := range hidden {
+		if h < 1 || h > 1<<20 {
+			return nil, fmt.Errorf("nn: implausible hidden width %d", h)
+		}
+		cfg.Hidden = append(cfg.Hidden, int(h))
+	}
+	n := New(in, out, cfg)
+	for li, l := range n.layers {
+		if err := binary.Read(r, binary.LittleEndian, l.w.Data); err != nil {
+			return nil, fmt.Errorf("nn: layer %d weights: %w", li, err)
+		}
+		if err := binary.Read(r, binary.LittleEndian, l.b.Data); err != nil {
+			return nil, fmt.Errorf("nn: layer %d bias: %w", li, err)
+		}
+	}
+	return n, nil
+}
+
+// Save writes the network to a file.
+func (n *Network) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return n.Encode(f)
+}
+
+// Load reads a network from a file.
+func Load(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// equalPredictions is a test helper surface: report whether two networks
+// produce identical probabilities on a probe batch.
+func equalPredictions(a, b *Network, probe *linalg.Matrix) bool {
+	pa := a.Probs(probe.Clone())
+	pb := b.Probs(probe.Clone())
+	for i := range pa.Data {
+		if pa.Data[i] != pb.Data[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,134 @@
+package nn
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/mnistgen"
+)
+
+func trainedNet(t *testing.T) *Network {
+	t.Helper()
+	ds := twoBlobs(200)
+	net := New(2, 2, Config{Hidden: []int{6, 4}, Act: Tanh, LR: 0.05, Epochs: 5, Batch: 16, Seed: 3})
+	net.Fit(ds)
+	return net
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	net := trainedNet(t)
+	var buf bytes.Buffer
+	if err := net.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := linalg.FromRows(twoBlobs(30).Points)
+	if !equalPredictions(net, got, probe) {
+		t.Error("round-tripped model predicts differently")
+	}
+	if got.InputDim() != 2 || got.Classes() != 2 || got.ParamCount() != net.ParamCount() {
+		t.Error("architecture lost")
+	}
+}
+
+func TestModelFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.nn")
+	net := trainedNet(t)
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := linalg.FromRows(twoBlobs(30).Points)
+	if !equalPredictions(net, got, probe) {
+		t.Error("file round trip mismatch")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestModelRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("NOTNNNN\n"),
+		[]byte("PEACHNN\n\x02\x00\x00\x00"), // bad version needs full header
+		append([]byte("PEACHNN\n"), make([]byte, 20)...),                                        // version 0
+		append([]byte("PEACHNN\n"), 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0), // in=0
+	}
+	for i, data := range cases {
+		if _, err := Decode(bytes.NewReader(data)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestModelRejectsTruncatedWeights(t *testing.T) {
+	net := trainedNet(t)
+	var buf bytes.Buffer
+	if err := net.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-8]
+	if _, err := Decode(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated weights accepted")
+	}
+}
+
+func TestFitWithCallbackReportsEveryEpoch(t *testing.T) {
+	ds := twoBlobs(100)
+	net := New(2, 2, Config{Hidden: []int{4}, LR: 0.05, Epochs: 7, Batch: 16, Seed: 4})
+	var epochs []int
+	var losses []float64
+	net.FitWithCallback(ds, func(ep int, loss float64) bool {
+		epochs = append(epochs, ep)
+		losses = append(losses, loss)
+		return true
+	})
+	if len(epochs) != 7 || epochs[0] != 0 || epochs[6] != 6 {
+		t.Fatalf("epochs %v", epochs)
+	}
+	if losses[6] >= losses[0] {
+		t.Errorf("loss did not decrease across epochs: %v", losses)
+	}
+}
+
+func TestFitWithCallbackEarlyStop(t *testing.T) {
+	ds := twoBlobs(100)
+	net := New(2, 2, Config{Hidden: []int{4}, LR: 0.05, Epochs: 50, Batch: 16, Seed: 5})
+	count := 0
+	net.FitWithCallback(ds, func(ep int, _ float64) bool {
+		count++
+		return ep < 2 // stop after the third epoch
+	})
+	if count != 3 {
+		t.Errorf("callback ran %d times, want 3", count)
+	}
+}
+
+func TestSavedDigitModelStillAccurate(t *testing.T) {
+	ds := mnistgen.Generate(33, 800)
+	train, test := ds.Split(600)
+	net := New(mnistgen.Pixels, 10, Config{Hidden: []int{24}, LR: 0.1, Momentum: 0.9, Epochs: 5, Batch: 32, Seed: 6})
+	net.Fit(train)
+	want := net.Evaluate(test)
+
+	var buf bytes.Buffer
+	if err := net.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Evaluate(test); got != want {
+		t.Errorf("loaded accuracy %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,22 @@
+package nycgen
+
+import "testing"
+
+// FuzzParsers exercises the three CSV row parsers with arbitrary lines.
+func FuzzParsers(f *testing.F) {
+	f.Add("123,2021-05-06,12.5,30.25,ASSAULT")
+	f.Add("NTA001,East Haven #1,0 0;10 0;10 10;0 10")
+	f.Add("NTA001,East Haven #1,12345")
+	f.Add("")
+	f.Add(",,,,,,,,")
+	f.Fuzz(func(t *testing.T, line string) {
+		if a, ok := ParseArrest(line); ok {
+			_ = a.Valid() // must not panic
+		}
+		if _, poly, ok := ParseBoundary(line); ok {
+			poly.BBox()
+			poly.Area()
+		}
+		ParsePopulation(line)
+	})
+}

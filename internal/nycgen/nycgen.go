@@ -1,0 +1,311 @@
+// Package nycgen generates the synthetic stand-in for the four NYC open
+// datasets the Figure 2 pipeline consumes (paper §4): Neighborhood
+// Tabulation Area (NTA) boundaries and populations, plus historic and
+// current-year arrest event streams. Everything is seeded and serialises
+// to CSV shaped like the data.cityofnewyork.us exports, so the pipeline
+// exercises the same parse → clean → spatial join → aggregate → visualise
+// path as the students' submissions.
+package nycgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/prng"
+)
+
+// City is a synthetic city: a jittered grid of rectangular NTAs over a
+// coordinate rectangle, with populations and arrest intensities.
+type City struct {
+	// Bounds of the city rectangle.
+	X0, Y0, X1, Y1 float64
+	NTAs           []NTA
+}
+
+// NTA is one neighborhood tabulation area.
+type NTA struct {
+	ID         string
+	Name       string
+	Boundary   geo.Polygon
+	Population int
+	// intensity is the relative arrest rate used by GenerateArrests.
+	intensity float64
+}
+
+// Arrest is one event row.
+type Arrest struct {
+	ID      int
+	Date    string // YYYY-MM-DD
+	X, Y    float64
+	Offense string
+}
+
+var offenses = []string{"ASSAULT", "LARCENY", "ROBBERY", "FRAUD", "MISCHIEF", "OTHER"}
+
+var hoodPrefixes = []string{"East", "West", "North", "South", "Upper", "Lower", "Old", "New"}
+var hoodStems = []string{"Haven", "Ridge", "Park", "Field", "Harbor", "Point", "Village", "Heights", "Crossing", "Gardens"}
+
+// NewCity builds a city of cols x rows NTAs over a 100x60 rectangle with
+// jittered internal boundaries, log-normal-ish populations and a few
+// arrest hot spots.
+func NewCity(seed uint64, cols, rows int) *City {
+	if cols < 1 || rows < 1 {
+		panic("nycgen: need at least a 1x1 grid")
+	}
+	r := prng.New(seed)
+	c := &City{X0: 0, Y0: 0, X1: 100, Y1: 60}
+
+	// Jittered grid lines.
+	xs := jitteredLines(r, c.X0, c.X1, cols)
+	ys := jitteredLines(r, c.Y0, c.Y1, rows)
+
+	idx := 0
+	for gy := 0; gy < rows; gy++ {
+		for gx := 0; gx < cols; gx++ {
+			name := fmt.Sprintf("%s %s",
+				hoodPrefixes[r.Intn(len(hoodPrefixes))],
+				hoodStems[r.Intn(len(hoodStems))])
+			pop := int(math.Exp(r.Norm(9.8, 0.6))) // ~18k median
+			if pop < 1000 {
+				pop = 1000
+			}
+			intensity := math.Exp(r.Norm(0, 0.7))
+			// A few hot spots with 5x the arrest intensity.
+			if r.Bernoulli(0.08) {
+				intensity *= 5
+			}
+			c.NTAs = append(c.NTAs, NTA{
+				ID:         fmt.Sprintf("NTA%03d", idx),
+				Name:       fmt.Sprintf("%s #%d", name, idx),
+				Boundary:   geo.Rect(xs[gx], ys[gy], xs[gx+1], ys[gy+1]),
+				Population: pop,
+				intensity:  intensity,
+			})
+			idx++
+		}
+	}
+	return c
+}
+
+func jitteredLines(r *prng.Rand, lo, hi float64, n int) []float64 {
+	lines := make([]float64, n+1)
+	lines[0], lines[n] = lo, hi
+	step := (hi - lo) / float64(n)
+	for i := 1; i < n; i++ {
+		lines[i] = lo + float64(i)*step + r.Range(-0.25, 0.25)*step
+	}
+	return lines
+}
+
+// Index builds a geo.Index over the city's NTAs.
+func (c *City) Index() *geo.Index {
+	regions := make([]geo.Region, len(c.NTAs))
+	for i, n := range c.NTAs {
+		regions[i] = geo.Region{ID: n.ID, Poly: n.Boundary}
+	}
+	return geo.NewIndex(regions)
+}
+
+// GenerateArrests draws n arrest events for the given year. Each event
+// picks an NTA proportionally to population x intensity, then a uniform
+// position inside it. A corruption fraction of rows gets damaged
+// coordinates or dates so the pipeline's cleaning stage has real work:
+// those rows carry X = Y = 0 ("null island") or an empty date.
+func (c *City) GenerateArrests(seed uint64, n, year int, corruption float64) []Arrest {
+	r := prng.New(seed)
+	// Cumulative weights.
+	weights := make([]float64, len(c.NTAs))
+	total := 0.0
+	for i, nta := range c.NTAs {
+		total += float64(nta.Population) * nta.intensity
+		weights[i] = total
+	}
+	out := make([]Arrest, n)
+	for i := 0; i < n; i++ {
+		w := r.Float64() * total
+		lo, hi := 0, len(weights)-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if weights[mid] < w {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		nta := c.NTAs[lo]
+		minX, minY, maxX, maxY := nta.Boundary.BBox()
+		a := Arrest{
+			ID:      year*1000000 + i,
+			Date:    fmt.Sprintf("%04d-%02d-%02d", year, 1+r.Intn(12), 1+r.Intn(28)),
+			X:       r.Range(minX, maxX),
+			Y:       r.Range(minY, maxY),
+			Offense: offenses[r.Intn(len(offenses))],
+		}
+		if r.Bernoulli(corruption) {
+			if r.Bernoulli(0.5) {
+				a.X, a.Y = 0, 0 // null island
+			} else {
+				a.Date = ""
+			}
+		}
+		out[i] = a
+	}
+	return out
+}
+
+// TrueRatePer100k returns the expected arrests per 100k residents for each
+// NTA given the generator's weights and a total event count — the ground
+// truth the pipeline's output is validated against.
+func (c *City) TrueRatePer100k(totalEvents int) map[string]float64 {
+	total := 0.0
+	for _, nta := range c.NTAs {
+		total += float64(nta.Population) * nta.intensity
+	}
+	out := make(map[string]float64, len(c.NTAs))
+	for _, nta := range c.NTAs {
+		expected := float64(totalEvents) * float64(nta.Population) * nta.intensity / total
+		out[nta.ID] = expected / float64(nta.Population) * 100000
+	}
+	return out
+}
+
+// ---------- CSV serialisation ----------
+
+// WriteArrestsCSV writes "id,date,x,y,offense" rows with a header.
+func WriteArrestsCSV(w io.Writer, arrests []Arrest) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "arrest_id,date,longitude,latitude,offense")
+	for _, a := range arrests {
+		fmt.Fprintf(bw, "%d,%s,%g,%g,%s\n", a.ID, a.Date, a.X, a.Y, a.Offense)
+	}
+	return bw.Flush()
+}
+
+// ParseArrest parses one CSV row (returns false for the header or for
+// rows with the wrong field count; corrupted-but-parseable rows are
+// returned as-is for the cleaning stage to judge).
+func ParseArrest(line string) (Arrest, bool) {
+	f := strings.Split(line, ",")
+	if len(f) != 5 {
+		return Arrest{}, false
+	}
+	id, err := strconv.Atoi(f[0])
+	if err != nil {
+		return Arrest{}, false
+	}
+	x, err1 := strconv.ParseFloat(f[2], 64)
+	y, err2 := strconv.ParseFloat(f[3], 64)
+	if err1 != nil || err2 != nil {
+		return Arrest{}, false
+	}
+	return Arrest{ID: id, Date: f[1], X: x, Y: y, Offense: f[4]}, true
+}
+
+// Valid reports whether an arrest row survives cleaning: real coordinates
+// and a non-empty date.
+func (a Arrest) Valid() bool {
+	return a.Date != "" && !(a.X == 0 && a.Y == 0)
+}
+
+// WriteBoundariesCSV writes "nta_id,name,wkt" rows, where wkt is a
+// semicolon-separated "x y" vertex list.
+func (c *City) WriteBoundariesCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "nta_id,name,boundary")
+	for _, n := range c.NTAs {
+		var sb strings.Builder
+		for i, v := range n.Boundary.Verts {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			fmt.Fprintf(&sb, "%g %g", v.X, v.Y)
+		}
+		fmt.Fprintf(bw, "%s,%s,%s\n", n.ID, n.Name, sb.String())
+	}
+	return bw.Flush()
+}
+
+// ParseBoundary parses one boundaries CSV row into (id, polygon).
+func ParseBoundary(line string) (string, geo.Polygon, bool) {
+	f := strings.Split(line, ",")
+	if len(f) != 3 || f[0] == "nta_id" {
+		return "", geo.Polygon{}, false
+	}
+	var poly geo.Polygon
+	for _, pair := range strings.Split(f[2], ";") {
+		xy := strings.Fields(pair)
+		if len(xy) != 2 {
+			return "", geo.Polygon{}, false
+		}
+		x, err1 := strconv.ParseFloat(xy[0], 64)
+		y, err2 := strconv.ParseFloat(xy[1], 64)
+		if err1 != nil || err2 != nil {
+			return "", geo.Polygon{}, false
+		}
+		poly.Verts = append(poly.Verts, geo.Point{X: x, Y: y})
+	}
+	return f[0], poly, true
+}
+
+// WritePopulationCSV writes "nta_id,name,population" rows.
+func (c *City) WritePopulationCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "nta_id,name,population")
+	for _, n := range c.NTAs {
+		fmt.Fprintf(bw, "%s,%s,%d\n", n.ID, n.Name, n.Population)
+	}
+	return bw.Flush()
+}
+
+// ParsePopulation parses one population CSV row into (id, population).
+func ParsePopulation(line string) (string, int, bool) {
+	f := strings.Split(line, ",")
+	if len(f) != 3 || f[0] == "nta_id" {
+		return "", 0, false
+	}
+	pop, err := strconv.Atoi(f[2])
+	if err != nil {
+		return "", 0, false
+	}
+	return f[0], pop, true
+}
+
+// ExportAll writes the four dataset files into dir: arrests_historic.csv,
+// arrests_current.csv, nta_boundaries.csv, nta_population.csv. It returns
+// the file paths in that order.
+func (c *City) ExportAll(dir string, seed uint64, historicN, currentN int, corruption float64) ([]string, error) {
+	paths := []string{
+		dir + "/arrests_historic.csv",
+		dir + "/arrests_current.csv",
+		dir + "/nta_boundaries.csv",
+		dir + "/nta_population.csv",
+	}
+	historic := c.GenerateArrests(seed+1, historicN, 2020, corruption)
+	current := c.GenerateArrests(seed+2, currentN, 2021, corruption)
+	writers := []func(io.Writer) error{
+		func(w io.Writer) error { return WriteArrestsCSV(w, historic) },
+		func(w io.Writer) error { return WriteArrestsCSV(w, current) },
+		c.WriteBoundariesCSV,
+		c.WritePopulationCSV,
+	}
+	for i, path := range paths {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := writers[i](f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,208 @@
+package nycgen
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/geo"
+)
+
+func TestNewCityTiling(t *testing.T) {
+	c := NewCity(1, 10, 6)
+	if len(c.NTAs) != 60 {
+		t.Fatalf("NTA count %d", len(c.NTAs))
+	}
+	// Tiles must cover the city: every sampled point locates somewhere.
+	ix := c.Index()
+	misses := 0
+	for x := 0.5; x < 100; x += 3.7 {
+		for y := 0.5; y < 60; y += 2.3 {
+			if _, ok := ix.Locate(geo.Point{X: x, Y: y}); !ok {
+				misses++
+			}
+		}
+	}
+	if misses > 0 {
+		t.Errorf("%d interior sample points not covered by any NTA", misses)
+	}
+	// Total area equals the city rectangle (tiles don't overlap or leak).
+	total := 0.0
+	for _, n := range c.NTAs {
+		total += n.Boundary.Area()
+	}
+	if total < 5999 || total > 6001 {
+		t.Errorf("total NTA area %v, want 6000", total)
+	}
+}
+
+func TestCityDeterministic(t *testing.T) {
+	a := NewCity(7, 5, 4)
+	b := NewCity(7, 5, 4)
+	for i := range a.NTAs {
+		if a.NTAs[i].Population != b.NTAs[i].Population || a.NTAs[i].Name != b.NTAs[i].Name {
+			t.Fatal("same seed differs")
+		}
+	}
+}
+
+func TestGenerateArrestsInsideOwnNTA(t *testing.T) {
+	c := NewCity(2, 6, 4)
+	arrests := c.GenerateArrests(3, 2000, 2021, 0)
+	ix := c.Index()
+	located := 0
+	for _, a := range arrests {
+		if !a.Valid() {
+			t.Fatal("uncorrupted arrest invalid")
+		}
+		if _, ok := ix.Locate(geo.Point{X: a.X, Y: a.Y}); ok {
+			located++
+		}
+	}
+	// All events are drawn inside NTA boxes (edge effects may lose a few).
+	if located < 1990 {
+		t.Errorf("only %d/2000 arrests located", located)
+	}
+}
+
+func TestCorruptionFraction(t *testing.T) {
+	c := NewCity(4, 6, 4)
+	arrests := c.GenerateArrests(5, 5000, 2021, 0.2)
+	bad := 0
+	for _, a := range arrests {
+		if !a.Valid() {
+			bad++
+		}
+	}
+	if bad < 800 || bad > 1200 {
+		t.Errorf("corrupted %d of 5000 at rate 0.2", bad)
+	}
+}
+
+func TestArrestCSVRoundTrip(t *testing.T) {
+	c := NewCity(6, 3, 3)
+	arrests := c.GenerateArrests(7, 100, 2020, 0.1)
+	var buf bytes.Buffer
+	if err := WriteArrestsCSV(&buf, arrests); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 101 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	if _, ok := ParseArrest(lines[0]); ok {
+		t.Error("header parsed as arrest")
+	}
+	parsed := 0
+	for _, ln := range lines[1:] {
+		a, ok := ParseArrest(ln)
+		if !ok {
+			t.Fatalf("row did not parse: %q", ln)
+		}
+		_ = a
+		parsed++
+	}
+	if parsed != 100 {
+		t.Errorf("parsed %d", parsed)
+	}
+}
+
+func TestBoundaryCSVRoundTrip(t *testing.T) {
+	c := NewCity(8, 4, 3)
+	var buf bytes.Buffer
+	if err := c.WriteBoundariesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if _, _, ok := ParseBoundary(lines[0]); ok {
+		t.Error("header parsed")
+	}
+	count := 0
+	for _, ln := range lines[1:] {
+		id, poly, ok := ParseBoundary(ln)
+		if !ok {
+			t.Fatalf("boundary row did not parse: %q", ln)
+		}
+		if !strings.HasPrefix(id, "NTA") || len(poly.Verts) != 4 {
+			t.Fatalf("bad boundary %q %v", id, poly)
+		}
+		count++
+	}
+	if count != 12 {
+		t.Errorf("boundaries %d", count)
+	}
+}
+
+func TestPopulationCSVRoundTrip(t *testing.T) {
+	c := NewCity(9, 4, 3)
+	var buf bytes.Buffer
+	if err := c.WritePopulationCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for _, ln := range lines[1:] {
+		id, pop, ok := ParsePopulation(ln)
+		if !ok || pop < 1000 || !strings.HasPrefix(id, "NTA") {
+			t.Fatalf("bad population row %q", ln)
+		}
+	}
+}
+
+func TestTrueRatePositive(t *testing.T) {
+	c := NewCity(10, 5, 5)
+	rates := c.TrueRatePer100k(100000)
+	if len(rates) != 25 {
+		t.Fatalf("rates %d", len(rates))
+	}
+	for id, r := range rates {
+		if r <= 0 {
+			t.Errorf("%s rate %v", id, r)
+		}
+	}
+}
+
+func TestExportAll(t *testing.T) {
+	dir := t.TempDir()
+	c := NewCity(11, 3, 2)
+	paths, err := c.ExportAll(dir, 100, 500, 300, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("paths %v", paths)
+	}
+	for _, p := range paths {
+		fi, err := os.Stat(p)
+		if err != nil || fi.Size() == 0 {
+			t.Errorf("file %s missing or empty", p)
+		}
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, ok := ParseArrest("not,enough"); ok {
+		t.Error("bad arrest accepted")
+	}
+	if _, ok := ParseArrest("x,2021-01-01,1,2,THEFT"); ok {
+		t.Error("non-numeric id accepted")
+	}
+	if _, _, ok := ParseBoundary("only,two"); ok {
+		t.Error("bad boundary accepted")
+	}
+	if _, _, ok := ParseBoundary("id,name,1 2;bad"); ok {
+		t.Error("bad vertex accepted")
+	}
+	if _, _, ok := ParsePopulation("id,name,xyz"); ok {
+		t.Error("bad population accepted")
+	}
+}
+
+func TestNewCityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("0x0 grid accepted")
+		}
+	}()
+	NewCity(1, 0, 5)
+}

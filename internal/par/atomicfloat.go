@@ -1,0 +1,104 @@
+package par
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// AtomicFloat64 is a float64 that supports lock-free atomic addition via a
+// compare-and-swap loop on the bit pattern — the "atomic" rung of the
+// K-means strategy ladder (paper §3, stage 3), standing in for OpenMP's
+// `#pragma omp atomic` on a double.
+type AtomicFloat64 struct {
+	bits uint64
+}
+
+// Load returns the current value.
+func (a *AtomicFloat64) Load() float64 {
+	return math.Float64frombits(atomic.LoadUint64(&a.bits))
+}
+
+// Store sets the value.
+func (a *AtomicFloat64) Store(v float64) {
+	atomic.StoreUint64(&a.bits, math.Float64bits(v))
+}
+
+// Add atomically adds delta and returns the new value.
+func (a *AtomicFloat64) Add(delta float64) float64 {
+	for {
+		old := atomic.LoadUint64(&a.bits)
+		newV := math.Float64frombits(old) + delta
+		if atomic.CompareAndSwapUint64(&a.bits, old, math.Float64bits(newV)) {
+			return newV
+		}
+	}
+}
+
+// CriticalAccumulator guards a float64 slice and an int slice with one
+// mutex — the "critical section" rung of the strategy ladder (stage 2,
+// OpenMP `#pragma omp critical`). It deliberately serialises all updates.
+type CriticalAccumulator struct {
+	mu     sync.Mutex
+	sums   []float64
+	counts []int64
+}
+
+// NewCriticalAccumulator allocates an accumulator with n float slots and
+// m count slots.
+func NewCriticalAccumulator(n, m int) *CriticalAccumulator {
+	return &CriticalAccumulator{sums: make([]float64, n), counts: make([]int64, m)}
+}
+
+// AddSum adds delta to float slot i under the lock.
+func (c *CriticalAccumulator) AddSum(i int, delta float64) {
+	c.mu.Lock()
+	c.sums[i] += delta
+	c.mu.Unlock()
+}
+
+// AddCount adds delta to count slot i under the lock.
+func (c *CriticalAccumulator) AddCount(i int, delta int64) {
+	c.mu.Lock()
+	c.counts[i] += delta
+	c.mu.Unlock()
+}
+
+// Update applies an arbitrary mutation under the lock.
+func (c *CriticalAccumulator) Update(f func(sums []float64, counts []int64)) {
+	c.mu.Lock()
+	f(c.sums, c.counts)
+	c.mu.Unlock()
+}
+
+// Sums returns the float slots. Callers must not mutate concurrently with
+// Add* calls.
+func (c *CriticalAccumulator) Sums() []float64 { return c.sums }
+
+// Counts returns the count slots.
+func (c *CriticalAccumulator) Counts() []int64 { return c.counts }
+
+// AtomicAccumulator is the same shape as CriticalAccumulator but each slot
+// is updated with lock-free atomics (stage 3).
+type AtomicAccumulator struct {
+	sums   []AtomicFloat64
+	counts []int64
+}
+
+// NewAtomicAccumulator allocates an accumulator with n float slots and m
+// count slots.
+func NewAtomicAccumulator(n, m int) *AtomicAccumulator {
+	return &AtomicAccumulator{sums: make([]AtomicFloat64, n), counts: make([]int64, m)}
+}
+
+// AddSum atomically adds delta to float slot i.
+func (a *AtomicAccumulator) AddSum(i int, delta float64) { a.sums[i].Add(delta) }
+
+// AddCount atomically adds delta to count slot i.
+func (a *AtomicAccumulator) AddCount(i int, delta int64) { atomic.AddInt64(&a.counts[i], delta) }
+
+// Sum returns float slot i.
+func (a *AtomicAccumulator) Sum(i int) float64 { return a.sums[i].Load() }
+
+// Count returns count slot i.
+func (a *AtomicAccumulator) Count(i int) int64 { return atomic.LoadInt64(&a.counts[i]) }

@@ -1,0 +1,208 @@
+// Package par provides shared-memory parallel building blocks in the style
+// of OpenMP worksharing: parallel for loops with static, dynamic and guided
+// scheduling, and the three race-condition resolution strategies the
+// K-means assignment teaches (paper §3): critical sections, atomic
+// operations, and private-copy reductions.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Schedule selects how ForRange distributes iterations over workers,
+// mirroring OpenMP's schedule(static|dynamic|guided) clauses.
+type Schedule int
+
+const (
+	// Static divides the range into one contiguous block per worker.
+	Static Schedule = iota
+	// Dynamic hands out fixed-size chunks from a shared counter.
+	Dynamic
+	// Guided hands out shrinking chunks (remaining/2P, floored at the
+	// chunk size).
+	Guided
+)
+
+// String returns the OpenMP-style name of the schedule.
+func (s Schedule) String() string {
+	switch s {
+	case Static:
+		return "static"
+	case Dynamic:
+		return "dynamic"
+	case Guided:
+		return "guided"
+	}
+	return "unknown"
+}
+
+// DefaultWorkers returns the worker count used when a caller passes
+// workers <= 0: the number of usable CPUs.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+func normWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs body(i) for every i in [0, n) using the given number of workers
+// with static scheduling. It blocks until all iterations complete.
+func For(n, workers int, body func(i int)) {
+	ForRange(n, workers, Static, 0, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange runs body over subranges [lo, hi) of [0, n) according to the
+// schedule. chunk is the dynamic/guided chunk size (minimum grain); it is
+// ignored for Static and defaults to 64 when <= 0. body additionally
+// receives the worker id in [0, workers) so callers can maintain private
+// per-worker state (the "reduction" strategy).
+func ForRange(n, workers int, sched Schedule, chunk int, body func(lo, hi, worker int)) {
+	if n <= 0 {
+		return
+	}
+	workers = normWorkers(workers, n)
+	if workers == 1 {
+		body(0, n, 0)
+		return
+	}
+	if chunk <= 0 {
+		chunk = 64
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	switch sched {
+	case Static:
+		for w := 0; w < workers; w++ {
+			lo := w * n / workers
+			hi := (w + 1) * n / workers
+			go func(lo, hi, w int) {
+				defer wg.Done()
+				if lo < hi {
+					body(lo, hi, w)
+				}
+			}(lo, hi, w)
+		}
+	case Dynamic:
+		var next int64
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+					if lo >= n {
+						return
+					}
+					hi := lo + chunk
+					if hi > n {
+						hi = n
+					}
+					body(lo, hi, w)
+				}
+			}(w)
+		}
+	case Guided:
+		var mu sync.Mutex
+		next := 0
+		take := func() (int, int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if next >= n {
+				return -1, -1
+			}
+			remaining := n - next
+			size := remaining / (2 * workers)
+			if size < chunk {
+				size = chunk
+			}
+			if size > remaining {
+				size = remaining
+			}
+			lo := next
+			next += size
+			return lo, next
+		}
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo, hi := take()
+					if lo < 0 {
+						return
+					}
+					body(lo, hi, w)
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+}
+
+// Do runs each function concurrently and waits for all of them, like an
+// OpenMP sections construct.
+func Do(fns ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(f func()) {
+			defer wg.Done()
+			f()
+		}(fn)
+	}
+	wg.Wait()
+}
+
+// Reduce computes a parallel reduction over [0, n): each worker folds its
+// iterations into a private accumulator seeded by identity(), and the
+// per-worker results are merged left-to-right with merge. This is the
+// "stage 4" strategy of the K-means assignment: no shared mutable state at
+// all during the loop.
+func Reduce[T any](n, workers int, identity func() T, fold func(acc T, i int) T, merge func(a, b T) T) T {
+	workers = normWorkers(workers, n)
+	if n <= 0 {
+		return identity()
+	}
+	accs := make([]T, workers)
+	ForRange(n, workers, Static, 0, func(lo, hi, w int) {
+		acc := identity()
+		for i := lo; i < hi; i++ {
+			acc = fold(acc, i)
+		}
+		accs[w] = acc
+	})
+	out := accs[0]
+	for _, a := range accs[1:] {
+		out = merge(out, a)
+	}
+	return out
+}
+
+// SumFloat64 is a convenience reduction: the parallel sum of f(i).
+func SumFloat64(n, workers int, f func(i int) float64) float64 {
+	return Reduce(n, workers,
+		func() float64 { return 0 },
+		func(acc float64, i int) float64 { return acc + f(i) },
+		func(a, b float64) float64 { return a + b })
+}
+
+// SumInt is a convenience reduction: the parallel sum of f(i).
+func SumInt(n, workers int, f func(i int) int) int {
+	return Reduce(n, workers,
+		func() int { return 0 },
+		func(acc int, i int) int { return acc + f(i) },
+		func(a, b int) int { return a + b })
+}

@@ -1,0 +1,207 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIterations(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 5, 100, 1001} {
+			seen := make([]int32, n)
+			For(n, workers, func(i int) { atomic.AddInt32(&seen[i], 1) })
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForRangeSchedulesCoverAll(t *testing.T) {
+	for _, sched := range []Schedule{Static, Dynamic, Guided} {
+		for _, workers := range []int{1, 2, 4, 9} {
+			n := 1237
+			seen := make([]int32, n)
+			ForRange(n, workers, sched, 10, func(lo, hi, _ int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("sched=%v workers=%d: index %d visited %d times", sched, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForRangeWorkerIDsInRange(t *testing.T) {
+	const workers = 4
+	var bad int32
+	ForRange(1000, workers, Dynamic, 16, func(lo, hi, w int) {
+		if w < 0 || w >= workers {
+			atomic.AddInt32(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Error("worker id out of range")
+	}
+}
+
+func TestForZeroAndNegativeN(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	ForRange(-5, 4, Static, 0, func(_, _, _ int) { called = true })
+	if called {
+		t.Error("body called for empty range")
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	got := SumInt(1000, 4, func(i int) int { return i })
+	if want := 999 * 1000 / 2; got != want {
+		t.Errorf("SumInt = %d, want %d", got, want)
+	}
+}
+
+func TestReduceMatchesSerialProperty(t *testing.T) {
+	f := func(n uint8, workers uint8) bool {
+		nn := int(n)
+		w := int(workers%8) + 1
+		par := SumFloat64(nn, w, func(i int) float64 { return float64(i) * 1.5 })
+		ser := 0.0
+		for i := 0; i < nn; i++ {
+			ser += float64(i) * 1.5
+		}
+		return par == ser
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(0, 4, func() int { return 7 }, func(a int, i int) int { return a + i }, func(a, b int) int { return a + b })
+	if got != 7 {
+		t.Errorf("empty Reduce = %d, want identity 7", got)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c int32
+	Do(
+		func() { atomic.StoreInt32(&a, 1) },
+		func() { atomic.StoreInt32(&b, 2) },
+		func() { atomic.StoreInt32(&c, 3) },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Error("Do did not run all sections")
+	}
+}
+
+func TestAtomicFloat64Add(t *testing.T) {
+	var f AtomicFloat64
+	For(10000, 8, func(int) { f.Add(0.5) })
+	if got := f.Load(); got != 5000 {
+		t.Errorf("atomic add total = %v, want 5000", got)
+	}
+}
+
+func TestAtomicFloat64StoreLoad(t *testing.T) {
+	var f AtomicFloat64
+	f.Store(-3.25)
+	if f.Load() != -3.25 {
+		t.Error("store/load mismatch")
+	}
+}
+
+func TestCriticalAccumulator(t *testing.T) {
+	acc := NewCriticalAccumulator(3, 3)
+	For(3000, 8, func(i int) {
+		acc.AddSum(i%3, 1.0)
+		acc.AddCount(i%3, 1)
+	})
+	for s := 0; s < 3; s++ {
+		if acc.Sums()[s] != 1000 {
+			t.Errorf("slot %d sum = %v, want 1000", s, acc.Sums()[s])
+		}
+		if acc.Counts()[s] != 1000 {
+			t.Errorf("slot %d count = %d, want 1000", s, acc.Counts()[s])
+		}
+	}
+}
+
+func TestCriticalAccumulatorUpdate(t *testing.T) {
+	acc := NewCriticalAccumulator(1, 1)
+	For(100, 4, func(int) {
+		acc.Update(func(sums []float64, counts []int64) {
+			sums[0] += 2
+			counts[0]++
+		})
+	})
+	if acc.Sums()[0] != 200 || acc.Counts()[0] != 100 {
+		t.Error("Update lost increments")
+	}
+}
+
+func TestAtomicAccumulator(t *testing.T) {
+	acc := NewAtomicAccumulator(4, 4)
+	For(4000, 8, func(i int) {
+		acc.AddSum(i%4, 0.25)
+		acc.AddCount(i%4, 2)
+	})
+	for s := 0; s < 4; s++ {
+		if acc.Sum(s) != 250 {
+			t.Errorf("slot %d sum = %v, want 250", s, acc.Sum(s))
+		}
+		if acc.Count(s) != 2000 {
+			t.Errorf("slot %d count = %d, want 2000", s, acc.Count(s))
+		}
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" || Guided.String() != "guided" {
+		t.Error("schedule names wrong")
+	}
+	if Schedule(99).String() != "unknown" {
+		t.Error("unknown schedule name wrong")
+	}
+}
+
+func BenchmarkReductionStrategies(b *testing.B) {
+	const n, slots = 100000, 16
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i % slots
+	}
+	b.Run("Critical", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			acc := NewCriticalAccumulator(slots, slots)
+			For(n, 0, func(i int) { acc.AddSum(idx[i], 1) })
+		}
+	})
+	b.Run("Atomic", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			acc := NewAtomicAccumulator(slots, slots)
+			For(n, 0, func(i int) { acc.AddSum(idx[i], 1) })
+		}
+	})
+	b.Run("Reduction", func(b *testing.B) {
+		for it := 0; it < b.N; it++ {
+			Reduce(n, 0,
+				func() []float64 { return make([]float64, slots) },
+				func(acc []float64, i int) []float64 { acc[idx[i]]++; return acc },
+				func(a, bb []float64) []float64 {
+					for s := range a {
+						a[s] += bb[s]
+					}
+					return a
+				})
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package par
+
+import "sync"
+
+// Pool is a set of persistent workers that execute successive parallel
+// loops without re-spawning goroutines — the shared-memory analogue of an
+// OpenMP parallel region enclosing many worksharing loops (and of the
+// coforall-vs-forall trade the heat assignment studies across nodes).
+// Create once, call For many times, Close when done.
+type Pool struct {
+	workers int
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	phase uint64
+	body  func(lo, hi, w int)
+	n     int
+
+	doneMu   sync.Mutex
+	doneCond *sync.Cond
+	pending  int
+
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewPool starts workers persistent goroutines (<= 0 means GOMAXPROCS).
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	p := &Pool{workers: workers}
+	p.cond = sync.NewCond(&p.mu)
+	p.doneCond = sync.NewCond(&p.doneMu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.run(w)
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) run(w int) {
+	defer p.wg.Done()
+	lastPhase := uint64(0)
+	for {
+		p.mu.Lock()
+		for p.phase == lastPhase && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		lastPhase = p.phase
+		body, n := p.body, p.n
+		p.mu.Unlock()
+
+		lo := w * n / p.workers
+		hi := (w + 1) * n / p.workers
+		if lo < hi {
+			body(lo, hi, w)
+		}
+
+		p.doneMu.Lock()
+		p.pending--
+		if p.pending == 0 {
+			p.doneCond.Broadcast()
+		}
+		p.doneMu.Unlock()
+	}
+}
+
+// For runs body(i) for i in [0, n) across the pool's workers with static
+// scheduling and blocks until the loop completes. Not safe for concurrent
+// For calls on one pool (like nested OpenMP worksharing, it is undefined).
+func (p *Pool) For(n int, body func(i int)) {
+	p.ForRange(n, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForRange runs body over static subranges of [0, n), passing the worker
+// id, and blocks until every worker finishes.
+func (p *Pool) ForRange(n int, body func(lo, hi, w int)) {
+	if n <= 0 {
+		return
+	}
+	if p.closed {
+		panic("par: ForRange on closed Pool")
+	}
+	p.doneMu.Lock()
+	p.pending = p.workers
+	p.doneMu.Unlock()
+
+	p.mu.Lock()
+	p.body = body
+	p.n = n
+	p.phase++
+	p.mu.Unlock()
+	p.cond.Broadcast()
+
+	p.doneMu.Lock()
+	for p.pending > 0 {
+		p.doneCond.Wait()
+	}
+	p.doneMu.Unlock()
+}
+
+// Close stops the workers; the pool cannot be reused.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+	p.cond.Broadcast()
+	p.wg.Wait()
+}

@@ -1,0 +1,104 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestPoolForCoversAll(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for round := 0; round < 20; round++ {
+		n := 100 + round*37
+		seen := make([]int32, n)
+		p.For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("round %d index %d visited %d times", round, i, c)
+			}
+		}
+	}
+}
+
+func TestPoolWorkerIDs(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var mask int32
+	p.ForRange(3, func(_, _, w int) { atomic.AddInt32(&mask, 1<<w) })
+	if mask != 7 {
+		t.Errorf("worker mask %b", mask)
+	}
+}
+
+func TestPoolEmptyLoop(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	called := false
+	p.For(0, func(int) { called = true })
+	if called {
+		t.Error("body ran for empty loop")
+	}
+}
+
+func TestPoolMoreWorkersThanWork(t *testing.T) {
+	p := NewPool(8)
+	defer p.Close()
+	var count int32
+	p.For(3, func(int) { atomic.AddInt32(&count, 1) })
+	if count != 3 {
+		t.Errorf("count %d", count)
+	}
+}
+
+func TestPoolMatchesForResult(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 5000
+	a := make([]float64, n)
+	b := make([]float64, n)
+	p.For(n, func(i int) { a[i] = float64(i) * 1.5 })
+	For(n, 4, func(i int) { b[i] = float64(i) * 1.5 })
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("pool and For disagree")
+		}
+	}
+}
+
+func TestPoolCloseThenForPanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("For on closed pool did not panic")
+		}
+	}()
+	p.For(1, func(int) {})
+}
+
+func TestPoolDefaultWorkers(t *testing.T) {
+	p := NewPool(0)
+	defer p.Close()
+	if p.Workers() != DefaultWorkers() {
+		t.Errorf("workers %d", p.Workers())
+	}
+}
+
+// BenchmarkPoolVsSpawn quantifies the per-loop overhead that persistent
+// workers amortise (the shared-memory version of the C7 comparison).
+func BenchmarkPoolVsSpawn(b *testing.B) {
+	const n = 64 // tiny body: overhead dominates
+	b.Run("SpawnPerLoop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			For(n, 4, func(int) {})
+		}
+	})
+	b.Run("PersistentPool", func(b *testing.B) {
+		p := NewPool(4)
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.For(n, func(int) {})
+		}
+	})
+}

@@ -1,0 +1,263 @@
+// Package pipeline implements the data-science-pipeline assignment (paper
+// §4) on the rdd engine. The flagship workflow reproduces the student
+// submission the paper showcases (Figure 2): combine four NYC-style
+// datasets — historic arrests, current-year arrests, NTA boundaries and
+// NTA populations — to compute arrests per 100,000 residents per
+// neighborhood and plot a spatial heat map.
+//
+// The workflow covers the project's required stages: data aggregation
+// (union of two arrest years), cleaning (dropping rows with damaged
+// coordinates or dates), analysis (spatial join + aggregation + join with
+// population + two further analyses: offense mix and monthly trend), and
+// visualisation (the heat map raster).
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/geo"
+	"repro/internal/nycgen"
+	"repro/internal/rdd"
+	"repro/internal/viz"
+)
+
+// CrimeReport is the pipeline's output.
+type CrimeReport struct {
+	// RatePer100k maps NTA id to arrests per 100k residents (Figure 2's
+	// plotted quantity).
+	RatePer100k map[string]float64
+	// ArrestsPerNTA maps NTA id to its absolute arrest count.
+	ArrestsPerNTA map[string]int
+	// OffenseCounts is analysis #2: arrests per offense type, descending.
+	OffenseCounts []Count
+	// MonthlyCounts is analysis #3: arrests per calendar month "01".."12".
+	MonthlyCounts map[string]int
+	// TotalRows, CleanRows and LocatedRows trace the cleaning funnel.
+	TotalRows, CleanRows, LocatedRows int
+	// Boundaries holds the parsed NTA polygons for rendering.
+	Boundaries map[string]geo.Polygon
+	// Population maps NTA id to residents.
+	Population map[string]int
+}
+
+// Count is a labelled tally.
+type Count struct {
+	Key string
+	N   int
+}
+
+// CrimePipeline runs the full workflow over the four CSV files that
+// nycgen.ExportAll writes into dir, with the given partition count.
+func CrimePipeline(ctx *rdd.Context, dir string, parts int) (*CrimeReport, error) {
+	if parts < 1 {
+		parts = 4
+	}
+	// Stage 1: ingest + aggregate the two arrest datasets.
+	historic, err := rdd.TextFile(ctx, dir+"/arrests_historic.csv", parts)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	current, err := rdd.TextFile(ctx, dir+"/arrests_current.csv", parts)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	lines := rdd.Union(historic, current)
+
+	// Stage 2: parse + clean.
+	parsed := rdd.FlatMap(lines, func(line string) []nycgen.Arrest {
+		if a, ok := nycgen.ParseArrest(line); ok {
+			return []nycgen.Arrest{a}
+		}
+		return nil
+	}).Cache()
+	total := rdd.Count(parsed)
+	clean := rdd.Filter(parsed, nycgen.Arrest.Valid).Cache()
+	cleanCount := rdd.Count(clean)
+
+	// Stage 3: load the small dimension tables (broadcast-style).
+	boundLines, err := rdd.TextFile(ctx, dir+"/nta_boundaries.csv", 1)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	boundaries := map[string]geo.Polygon{}
+	var regions []geo.Region
+	for _, line := range rdd.Collect(boundLines) {
+		if id, poly, ok := nycgen.ParseBoundary(line); ok {
+			boundaries[id] = poly
+			regions = append(regions, geo.Region{ID: id, Poly: poly})
+		}
+	}
+	index := geo.NewIndex(regions)
+
+	popLines, err := rdd.TextFile(ctx, dir+"/nta_population.csv", 1)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: %w", err)
+	}
+	population := map[string]int{}
+	for _, line := range rdd.Collect(popLines) {
+		if id, pop, ok := nycgen.ParsePopulation(line); ok {
+			population[id] = pop
+		}
+	}
+
+	// Stage 4 (analysis #1): spatial join + per-NTA aggregation +
+	// per-100k normalisation against the population table.
+	located := rdd.FlatMap(clean, func(a nycgen.Arrest) []rdd.Pair[string, int] {
+		if id, ok := index.Locate(geo.Point{X: a.X, Y: a.Y}); ok {
+			return []rdd.Pair[string, int]{{Key: id, Value: 1}}
+		}
+		return nil
+	})
+	perNTA := rdd.ReduceByKey(located, func(a, b int) int { return a + b })
+	popPairs := make([]rdd.Pair[string, int], 0, len(population))
+	for id, pop := range population {
+		popPairs = append(popPairs, rdd.Pair[string, int]{Key: id, Value: pop})
+	}
+	popDS := rdd.Parallelize(ctx, popPairs, parts)
+	joined := rdd.Join(perNTA, popDS)
+	rates := rdd.CollectMap(rdd.MapValues(joined, func(j rdd.JoinRow[int, int]) float64 {
+		return float64(j.Left) / float64(j.Right) * 100000
+	}))
+	arrestsPerNTA := rdd.CollectMap(perNTA)
+	locatedCount := 0
+	for _, n := range arrestsPerNTA {
+		locatedCount += n
+	}
+
+	// Stage 5 (analysis #2): offense mix.
+	offensePairs := rdd.Map(clean, func(a nycgen.Arrest) rdd.Pair[string, int] {
+		return rdd.Pair[string, int]{Key: a.Offense, Value: 1}
+	})
+	offenseMap := rdd.CollectMap(rdd.ReduceByKey(offensePairs, func(a, b int) int { return a + b }))
+	var offenses []Count
+	for k, n := range offenseMap {
+		offenses = append(offenses, Count{k, n})
+	}
+	sort.Slice(offenses, func(i, j int) bool {
+		if offenses[i].N != offenses[j].N {
+			return offenses[i].N > offenses[j].N
+		}
+		return offenses[i].Key < offenses[j].Key
+	})
+
+	// Stage 6 (analysis #3): monthly trend from the date column.
+	monthPairs := rdd.FlatMap(clean, func(a nycgen.Arrest) []rdd.Pair[string, int] {
+		f := strings.Split(a.Date, "-")
+		if len(f) != 3 {
+			return nil
+		}
+		return []rdd.Pair[string, int]{{Key: f[1], Value: 1}}
+	})
+	monthly := rdd.CollectMap(rdd.ReduceByKey(monthPairs, func(a, b int) int { return a + b }))
+
+	return &CrimeReport{
+		RatePer100k:   rates,
+		ArrestsPerNTA: arrestsPerNTA,
+		OffenseCounts: offenses,
+		MonthlyCounts: monthly,
+		TotalRows:     total,
+		CleanRows:     cleanCount,
+		LocatedRows:   locatedCount,
+		Boundaries:    boundaries,
+		Population:    population,
+	}, nil
+}
+
+// RenderHeatMap rasterises the per-100k rates over the NTA polygons — the
+// Figure 2 exhibit. Regions without a rate render gray.
+func (r *CrimeReport) RenderHeatMap(w, h int) *viz.RGB {
+	img := viz.NewRGB(w, h)
+	// City bounds from the union of boundary bboxes.
+	minX, minY := 1e300, 1e300
+	maxX, maxY := -1e300, -1e300
+	for _, poly := range r.Boundaries {
+		x0, y0, x1, y1 := poly.BBox()
+		if x0 < minX {
+			minX = x0
+		}
+		if y0 < minY {
+			minY = y0
+		}
+		if x1 > maxX {
+			maxX = x1
+		}
+		if y1 > maxY {
+			maxY = y1
+		}
+	}
+	if minX >= maxX || minY >= maxY {
+		return img
+	}
+	// Rate normalisation.
+	lo, hi := 1e300, -1e300
+	for _, v := range r.RatePer100k {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	// Paint pixel centres by containing region.
+	ids := make([]string, 0, len(r.Boundaries))
+	for id := range r.Boundaries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	var regions []geo.Region
+	for _, id := range ids {
+		regions = append(regions, geo.Region{ID: id, Poly: r.Boundaries[id]})
+	}
+	index := geo.NewIndex(regions)
+	for py := 0; py < h; py++ {
+		for px := 0; px < w; px++ {
+			x := minX + (float64(px)+0.5)/float64(w)*(maxX-minX)
+			y := maxY - (float64(py)+0.5)/float64(h)*(maxY-minY)
+			id, ok := index.Locate(geo.Point{X: x, Y: y})
+			if !ok {
+				continue
+			}
+			rate, ok := r.RatePer100k[id]
+			if !ok {
+				img.Set(px, py, 180, 180, 180)
+				continue
+			}
+			cr, cg, cb := viz.HeatColor((rate - lo) / span)
+			img.Set(px, py, cr, cg, cb)
+		}
+	}
+	return img
+}
+
+// TopNTAs returns the n NTAs with the highest arrest rate per 100k,
+// descending (ties by id for determinism).
+func (r *CrimeReport) TopNTAs(n int) []Count {
+	type kv struct {
+		id   string
+		rate float64
+	}
+	all := make([]kv, 0, len(r.RatePer100k))
+	for id, rate := range r.RatePer100k {
+		all = append(all, kv{id, rate})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].rate != all[j].rate {
+			return all[i].rate > all[j].rate
+		}
+		return all[i].id < all[j].id
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]Count, n)
+	for i := 0; i < n; i++ {
+		out[i] = Count{all[i].id, int(all[i].rate + 0.5)}
+	}
+	return out
+}

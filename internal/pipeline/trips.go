@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/prng"
+	"repro/internal/rdd"
+)
+
+// The trips/weather workflow is a second, smaller pipeline of the kind
+// student teams build (paper §4: "teams are given a completely free choice
+// of topic"): join a taxi-like trip log with a daily weather table and ask
+// how weather affects ridership and trip length.
+
+// Trip is one synthetic taxi trip.
+type Trip struct {
+	Day      int // day of year, 0-364
+	Minutes  float64
+	Distance float64
+}
+
+// Weather is one day's conditions.
+type Weather struct {
+	Day       int
+	Condition string // "sun", "rain", "snow"
+}
+
+// GenerateTrips synthesises a year of trips whose volume and duration
+// respond to weather: rain shrinks volume and slows trips; snow more so.
+func GenerateTrips(seed uint64, perDay int) ([]Trip, []Weather) {
+	r := prng.New(seed)
+	conditions := []string{"sun", "rain", "snow"}
+	weights := []float64{0.6, 0.3, 0.1}
+	volumeFactor := map[string]float64{"sun": 1.0, "rain": 0.8, "snow": 0.5}
+	slowdown := map[string]float64{"sun": 1.0, "rain": 1.25, "snow": 1.6}
+
+	var weather []Weather
+	var trips []Trip
+	for day := 0; day < 365; day++ {
+		u := r.Float64()
+		cond := conditions[0]
+		acc := 0.0
+		for i, wgt := range weights {
+			acc += wgt
+			if u < acc {
+				cond = conditions[i]
+				break
+			}
+		}
+		weather = append(weather, Weather{Day: day, Condition: cond})
+		n := int(float64(perDay) * volumeFactor[cond])
+		for i := 0; i < n; i++ {
+			dist := r.Range(0.5, 12)
+			trips = append(trips, Trip{
+				Day:      day,
+				Distance: dist,
+				Minutes:  dist * 3 * slowdown[cond] * r.Range(0.8, 1.2),
+			})
+		}
+	}
+	return trips, weather
+}
+
+// WeatherStat is the aggregated outcome for one weather condition.
+type WeatherStat struct {
+	Condition    string
+	Days         int
+	TripsPerDay  float64
+	MeanMinPerKm float64
+}
+
+// TripsPipeline joins trips with weather by day and aggregates ridership
+// and pace per condition, demonstrating a second rdd workflow (join +
+// two-level aggregation).
+func TripsPipeline(ctx *rdd.Context, trips []Trip, weather []Weather, parts int) []WeatherStat {
+	tripDS := rdd.KeyBy(rdd.Parallelize(ctx, trips, parts), func(t Trip) int { return t.Day })
+	weatherDS := rdd.KeyBy(rdd.Parallelize(ctx, weather, parts), func(w Weather) int { return w.Day })
+	joined := rdd.Join(tripDS, weatherDS)
+
+	// Per-condition accumulation: trips, minutes, km.
+	type agg struct {
+		Trips   int
+		Minutes float64
+		Km      float64
+	}
+	byCond := rdd.ReduceByKey(
+		rdd.Map(joined, func(p rdd.Pair[int, rdd.JoinRow[Trip, Weather]]) rdd.Pair[string, agg] {
+			t := p.Value.Left
+			return rdd.Pair[string, agg]{
+				Key:   p.Value.Right.Condition,
+				Value: agg{Trips: 1, Minutes: t.Minutes, Km: t.Distance},
+			}
+		}),
+		func(a, b agg) agg {
+			return agg{a.Trips + b.Trips, a.Minutes + b.Minutes, a.Km + b.Km}
+		})
+
+	days := map[string]int{}
+	for _, w := range weather {
+		days[w.Condition]++
+	}
+	var out []WeatherStat
+	for cond, a := range rdd.CollectMap(byCond) {
+		d := days[cond]
+		if d == 0 {
+			continue
+		}
+		out = append(out, WeatherStat{
+			Condition:    cond,
+			Days:         d,
+			TripsPerDay:  float64(a.Trips) / float64(d),
+			MeanMinPerKm: a.Minutes / a.Km,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Condition < out[j].Condition })
+	return out
+}
+
+// String renders a stat row.
+func (s WeatherStat) String() string {
+	return fmt.Sprintf("%-5s days=%3d trips/day=%7.1f min/km=%5.2f",
+		s.Condition, s.Days, s.TripsPerDay, s.MeanMinPerKm)
+}

@@ -1,0 +1,137 @@
+package prng
+
+import "math"
+
+// Rand adapts a Source into a convenient distribution sampler. It mirrors
+// the pieces of C++'s <random> that the traffic assignment uses:
+// uniform_real_distribution, uniform_int_distribution, bernoulli_distribution
+// and normal_distribution.
+//
+// Every sampler documents exactly how many raw draws it consumes, because
+// reproducible fast-forwarding (Skip) requires callers to account for
+// stream positions.
+type Rand struct {
+	src Source
+}
+
+// NewRand wraps src. The Rand does not copy src: advancing the Rand
+// advances src.
+func NewRand(src Source) *Rand { return &Rand{src: src} }
+
+// New returns a Rand over a fresh LCG64 seeded with seed.
+func New(seed uint64) *Rand { return NewRand(NewLCG64(seed)) }
+
+// Source returns the underlying source.
+func (r *Rand) Source() Source { return r.src }
+
+// Skip fast-forwards the underlying stream by n raw draws.
+func (r *Rand) Skip(n uint64) { r.src.Jump(n) }
+
+// Clone returns an independent Rand at the same stream position.
+func (r *Rand) Clone() *Rand { return &Rand{src: r.src.Clone()} }
+
+// Uint64 consumes one raw draw.
+func (r *Rand) Uint64() uint64 { return r.src.Uint64() }
+
+// Float64 returns a uniform value in [0, 1) using the top 53 bits of one
+// raw draw (the low bits of an LCG are weak).
+func (r *Rand) Float64() float64 {
+	return float64(r.src.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p, consuming one raw draw.
+func (r *Rand) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Intn returns a uniform integer in [0, n), consuming one raw draw.
+// n must be positive. The tiny modulo bias (< 2^-53 relative for any
+// simulation-scale n) is accepted in exchange for the fixed one-draw
+// budget that reproducible fast-forwarding requires.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(r.Float64() * float64(n))
+}
+
+// Range returns a uniform float64 in [lo, hi), consuming one raw draw.
+func (r *Rand) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Norm returns a normally distributed value with mean mu and standard
+// deviation sigma, consuming exactly two raw draws (Box-Muller, cosine
+// branch only, so the draw count is fixed).
+func (r *Rand) Norm(mu, sigma float64) float64 {
+	u1 := r.Float64()
+	u2 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mu + sigma*z
+}
+
+// Perm returns a uniformly random permutation of [0, n) via Fisher-Yates,
+// consuming exactly n-1 raw draws (n >= 2; 0 draws otherwise).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs in place using n-1 raw draws for len(xs) = n >= 2.
+func Shuffle[T any](r *Rand, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Streams derives k well-separated generator streams from a master seed
+// using SplitMix64. Unlike Jump-based partitioning of one sequence, these
+// streams are statistically independent but NOT reproducible slices of a
+// single shared sequence — they model the "give each thread its own seed"
+// strategy the traffic assignment warns about (paper §5).
+func Streams(seed uint64, k int) []*Rand {
+	sm := SplitMix64{State: seed}
+	out := make([]*Rand, k)
+	for i := range out {
+		out[i] = New(sm.Next())
+	}
+	return out
+}
+
+// Leapfrog returns k Rands over the SAME underlying sequence, where stream
+// i starts at position offset+i. Combined with per-use strides, this is the
+// classical leapfrog partitioning of one shared sequence.
+func Leapfrog(seed uint64, k int, offset uint64) []*Rand {
+	out := make([]*Rand, k)
+	for i := range out {
+		g := NewLCG64(seed)
+		g.Jump(offset + uint64(i))
+		out[i] = NewRand(g)
+	}
+	return out
+}
+
+// BlockSplit returns k Rands over the same sequence, where stream i is
+// fast-forwarded to position offset + i*blockLen. Each stream owns a
+// contiguous block of the shared sequence; this is the partitioning the
+// reproducible traffic parallelisation uses.
+func BlockSplit(seed uint64, k int, offset, blockLen uint64) []*Rand {
+	out := make([]*Rand, k)
+	for i := range out {
+		g := NewLCG64(seed)
+		g.Jump(offset + uint64(i)*blockLen)
+		out[i] = NewRand(g)
+	}
+	return out
+}

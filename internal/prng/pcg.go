@@ -1,0 +1,92 @@
+package prng
+
+import "math/bits"
+
+// PCG32 is O'Neill's PCG-XSH-RR generator: a 64-bit LCG state with a
+// permuted 32-bit output. Because the state transition is the same affine
+// map family as LCG64, it inherits the O(log n) Jump — making it the
+// statistically strongest of this package's fast-forwardable generators
+// (the LCG's raw low bits fail tests that PCG's permuted output passes).
+// Each Uint64 concatenates two 32-bit outputs, consuming two raw steps;
+// Jump counts raw steps, and JumpDraws counts Uint64 calls.
+type PCG32 struct {
+	state uint64
+	inc   uint64 // stream selector; must be odd
+}
+
+const pcgMult = 6364136223846793005
+
+// NewPCG32 returns a PCG32 on the default stream.
+func NewPCG32(seed uint64) *PCG32 {
+	g := &PCG32{}
+	g.Seed(seed)
+	return g
+}
+
+// setStream selects the generator's stream; generators on different
+// streams are independent even with equal seeds.
+func (g *PCG32) setStream(stream uint64) {
+	g.inc = stream<<1 | 1
+}
+
+// Seed resets the generator (reference PCG seeding sequence).
+func (g *PCG32) Seed(seed uint64) {
+	if g.inc == 0 {
+		g.setStream(0xda3e39cb94b95bdb)
+	}
+	g.state = 0
+	g.next32()
+	g.state += seed
+	g.next32()
+}
+
+// next32 advances one raw step and returns the permuted 32-bit output.
+func (g *PCG32) next32() uint32 {
+	old := g.state
+	g.state = old*pcgMult + g.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := int(old >> 59)
+	return bits.RotateLeft32(xorshifted, -rot)
+}
+
+// Uint64 returns 64 random bits (two raw steps).
+func (g *PCG32) Uint64() uint64 {
+	hi := uint64(g.next32())
+	lo := uint64(g.next32())
+	return hi<<32 | lo
+}
+
+// Jump advances by n raw steps in O(log n). Note Uint64 consumes two raw
+// steps; use JumpDraws to skip whole Uint64 outputs.
+func (g *PCG32) Jump(n uint64) {
+	accA, accC := affinePowInc(pcgMult, g.inc, n)
+	g.state = g.state*accA + accC
+}
+
+// JumpDraws advances by n Uint64 outputs (2n raw steps).
+func (g *PCG32) JumpDraws(n uint64) {
+	g.Jump(2 * n)
+}
+
+// Clone returns an independent copy.
+func (g *PCG32) Clone() Source {
+	c := *g
+	return &c
+}
+
+// State returns the raw state (for tests/checkpointing).
+func (g *PCG32) State() uint64 { return g.state }
+
+// affinePowInc is affinePow with a configurable increment.
+func affinePowInc(a, c, n uint64) (accA, accC uint64) {
+	accA, accC = 1, 0
+	curA, curC := a, c
+	for n > 0 {
+		if n&1 == 1 {
+			accA, accC = curA*accA, curA*accC+curC
+		}
+		curA, curC = curA*curA, curA*curC+curC
+		n >>= 1
+	}
+	return accA, accC
+}

@@ -1,0 +1,189 @@
+// Package prng provides pseudo-random number generators with O(log n)
+// jump-ahead ("fast-forward"), the capability at the heart of the
+// Nagel-Schreckenberg traffic assignment (paper §5): a shared random
+// sequence can be consumed by many workers, each of which jumps directly
+// to its slice of the sequence, so parallel runs reproduce the serial
+// output bit for bit regardless of the worker count.
+//
+// Two linear congruential generator families are provided:
+//
+//   - LCG64: a full-period power-of-two-modulus LCG (Knuth MMIX constants),
+//     state update s' = a*s + c (mod 2^64).
+//   - MinStd: the 31-bit multiplicative "minimal standard" generator
+//     (Park-Miller, the same family as C++'s minstd_rand that the
+//     assignment's starter code fast-forwards).
+//
+// Both satisfy Source, which extends enough of math/rand's contract to
+// drive the distribution adapters in this package.
+package prng
+
+// Source is a deterministic stream of pseudo-random numbers that supports
+// logarithmic-time fast-forward and cheap copying.
+type Source interface {
+	// Uint64 returns the next value of the stream.
+	Uint64() uint64
+	// Jump advances the stream by n steps in O(log n) time; it is
+	// equivalent to calling Uint64 n times and discarding the results.
+	Jump(n uint64)
+	// Clone returns an independent copy positioned at the same point of
+	// the stream.
+	Clone() Source
+	// Seed resets the stream to the beginning of the sequence identified
+	// by seed.
+	Seed(seed uint64)
+}
+
+// Knuth's MMIX LCG constants.
+const (
+	lcg64A = 6364136223846793005
+	lcg64C = 1442695040888963407
+)
+
+// LCG64 is a 64-bit linear congruential generator with modulus 2^64.
+// Its zero value is a valid generator seeded with 0.
+type LCG64 struct {
+	state uint64
+}
+
+// NewLCG64 returns an LCG64 seeded with seed.
+func NewLCG64(seed uint64) *LCG64 {
+	g := &LCG64{}
+	g.Seed(seed)
+	return g
+}
+
+// Seed resets the generator. The raw seed is scrambled through SplitMix64
+// so that small consecutive seeds yield well-separated states.
+func (g *LCG64) Seed(seed uint64) {
+	sm := SplitMix64{State: seed}
+	g.state = sm.Next()
+}
+
+// Uint64 advances the state once and returns it. The raw LCG state has weak
+// low bits; they are adequate for simulation workloads but Float64 below
+// uses only the top 53 bits.
+func (g *LCG64) Uint64() uint64 {
+	g.state = g.state*lcg64A + lcg64C
+	return g.state
+}
+
+// State returns the current internal state (useful for tests and
+// checkpointing).
+func (g *LCG64) State() uint64 { return g.state }
+
+// SetState restores a state captured with State.
+func (g *LCG64) SetState(s uint64) { g.state = s }
+
+// Jump advances the generator by n steps in O(log n).
+//
+// One step is the affine map f(x) = a*x + c (mod 2^64). Composition of
+// affine maps is affine: applying (A1,C1) then (A2,C2) gives
+// (A2*A1, A2*C1 + C2). Jump exponentiates the one-step map by n with
+// square-and-multiply, then applies the result once.
+func (g *LCG64) Jump(n uint64) {
+	accA, accC := affinePow(lcg64A, lcg64C, n)
+	g.state = g.state*accA + accC
+}
+
+// Clone returns an independent copy of the generator.
+func (g *LCG64) Clone() Source {
+	c := *g
+	return &c
+}
+
+// affinePow returns the n-fold composition of the affine map x -> a*x+c
+// over Z/2^64, as a pair (A, C) with f^n(x) = A*x + C.
+func affinePow(a, c, n uint64) (accA, accC uint64) {
+	accA, accC = 1, 0
+	curA, curC := a, c
+	for n > 0 {
+		if n&1 == 1 {
+			// acc <- cur ∘ acc
+			accA, accC = curA*accA, curA*accC+curC
+		}
+		// cur <- cur ∘ cur
+		curA, curC = curA*curA, curA*curC+curC
+		n >>= 1
+	}
+	return accA, accC
+}
+
+// MinStd is the Park-Miller "minimal standard" multiplicative LCG:
+// s' = 48271 * s (mod 2^31-1), the generator C++ exposes as minstd_rand.
+// State is always in [1, 2^31-2].
+type MinStd struct {
+	state uint64
+}
+
+const (
+	minStdA = 48271
+	minStdM = 1<<31 - 1
+)
+
+// NewMinStd returns a MinStd generator seeded with seed.
+func NewMinStd(seed uint64) *MinStd {
+	g := &MinStd{}
+	g.Seed(seed)
+	return g
+}
+
+// Seed resets the generator. Any seed value is accepted; it is reduced to
+// the valid state range [1, m-1].
+func (g *MinStd) Seed(seed uint64) {
+	s := seed % minStdM
+	if s == 0 {
+		s = 1
+	}
+	g.state = s
+}
+
+// Uint64 advances and returns the next state, a value in [1, 2^31-2].
+func (g *MinStd) Uint64() uint64 {
+	g.state = g.state * minStdA % minStdM
+	return g.state
+}
+
+// Jump advances by n steps using modular exponentiation:
+// s_n = a^n * s (mod m).
+func (g *MinStd) Jump(n uint64) {
+	g.state = g.state * modPow(minStdA, n, minStdM) % minStdM
+}
+
+// Clone returns an independent copy of the generator.
+func (g *MinStd) Clone() Source {
+	c := *g
+	return &c
+}
+
+// State returns the current internal state.
+func (g *MinStd) State() uint64 { return g.state }
+
+// modPow computes base^exp mod m for m < 2^32 without overflow.
+func modPow(base, exp, m uint64) uint64 {
+	result := uint64(1)
+	base %= m
+	for exp > 0 {
+		if exp&1 == 1 {
+			result = result * base % m
+		}
+		base = base * base % m
+		exp >>= 1
+	}
+	return result
+}
+
+// SplitMix64 is Steele et al.'s statistically strong 64-bit mixer. It is
+// used to derive well-separated seeds for worker streams and to scramble
+// user seeds; it also works as a standalone generator.
+type SplitMix64 struct {
+	State uint64
+}
+
+// Next returns the next output of the SplitMix64 sequence.
+func (s *SplitMix64) Next() uint64 {
+	s.State += 0x9e3779b97f4a7c15
+	z := s.State
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

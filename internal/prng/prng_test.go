@@ -1,0 +1,405 @@
+package prng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLCG64JumpMatchesSerial(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 3, 7, 64, 1000, 123457} {
+		serial := NewLCG64(42)
+		for i := uint64(0); i < n; i++ {
+			serial.Uint64()
+		}
+		jumped := NewLCG64(42)
+		jumped.Jump(n)
+		if serial.State() != jumped.State() {
+			t.Errorf("Jump(%d): state %d, want %d", n, jumped.State(), serial.State())
+		}
+	}
+}
+
+func TestLCG64JumpProperty(t *testing.T) {
+	// Property: Jump(a) then Jump(b) == Jump(a+b), for bounded a, b.
+	f := func(seed uint64, a, b uint16) bool {
+		g1 := NewLCG64(seed)
+		g1.Jump(uint64(a))
+		g1.Jump(uint64(b))
+		g2 := NewLCG64(seed)
+		g2.Jump(uint64(a) + uint64(b))
+		return g1.State() == g2.State()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLCG64JumpLarge(t *testing.T) {
+	// Jump must be consistent for huge n: Jump(2^40) == Jump(2^39) twice.
+	g1 := NewLCG64(7)
+	g1.Jump(1 << 40)
+	g2 := NewLCG64(7)
+	g2.Jump(1 << 39)
+	g2.Jump(1 << 39)
+	if g1.State() != g2.State() {
+		t.Error("large jumps disagree")
+	}
+}
+
+func TestMinStdJumpMatchesSerial(t *testing.T) {
+	for _, n := range []uint64{0, 1, 5, 100, 54321} {
+		serial := NewMinStd(99)
+		for i := uint64(0); i < n; i++ {
+			serial.Uint64()
+		}
+		jumped := NewMinStd(99)
+		jumped.Jump(n)
+		if serial.State() != jumped.State() {
+			t.Errorf("MinStd Jump(%d): state %d, want %d", n, jumped.State(), serial.State())
+		}
+	}
+}
+
+func TestMinStdStateRange(t *testing.T) {
+	g := NewMinStd(12345)
+	for i := 0; i < 10000; i++ {
+		v := g.Uint64()
+		if v == 0 || v >= minStdM {
+			t.Fatalf("state %d out of range at step %d", v, i)
+		}
+	}
+}
+
+func TestMinStdKnownSequence(t *testing.T) {
+	// C++ minstd_rand with seed 1: first value is 48271.
+	g := NewMinStd(1)
+	if v := g.Uint64(); v != 48271 {
+		t.Errorf("first minstd value = %d, want 48271", v)
+	}
+	// 10000th value of minstd_rand(1) is the documented 399268537.
+	g = NewMinStd(1)
+	g.Jump(9999)
+	if v := g.Uint64(); v != 399268537 {
+		t.Errorf("10000th minstd value = %d, want 399268537", v)
+	}
+}
+
+func TestSeedScrambling(t *testing.T) {
+	// Consecutive seeds must give well-separated states.
+	a := NewLCG64(1)
+	b := NewLCG64(2)
+	if a.State() == b.State() {
+		t.Error("seeds 1 and 2 collide")
+	}
+	if a.State()^b.State() < 1<<32 {
+		t.Error("seeds 1 and 2 differ only in low bits; scrambling too weak")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := NewLCG64(5)
+	g.Uint64()
+	c := g.Clone()
+	g.Uint64()
+	cv := c.Uint64()
+	g2 := NewLCG64(5)
+	g2.Uint64()
+	want := g2.Uint64()
+	if cv != want {
+		t.Error("clone did not preserve position")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean of uniforms = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnUniform(t *testing.T) {
+	r := New(17)
+	const n, buckets = 100000, 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	for b, c := range counts {
+		if math.Abs(float64(c)-n/buckets) > 0.1*n/buckets {
+			t.Errorf("bucket %d count %d deviates >10%% from %d", b, c, n/buckets)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	r := New(23)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.13) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.13) > 0.01 {
+		t.Errorf("Bernoulli(0.13) frequency %v", p)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(31)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Norm(2.0, 3.0)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-2.0) > 0.05 {
+		t.Errorf("normal mean = %v, want ~2", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3.0) > 0.05 {
+		t.Errorf("normal stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestNormDrawBudget(t *testing.T) {
+	// Norm must consume exactly two raw draws so that Skip bookkeeping
+	// stays exact.
+	r1 := New(41)
+	r1.Norm(0, 1)
+	v1 := r1.Uint64()
+
+	r2 := New(41)
+	r2.Skip(2)
+	v2 := r2.Uint64()
+	if v1 != v2 {
+		t.Error("Norm consumed a number of draws other than 2")
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(43)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestPermDrawBudget(t *testing.T) {
+	r1 := New(47)
+	r1.Perm(10)
+	v1 := r1.Uint64()
+	r2 := New(47)
+	r2.Skip(9)
+	v2 := r2.Uint64()
+	if v1 != v2 {
+		t.Error("Perm(10) consumed a number of draws other than 9")
+	}
+}
+
+func TestBlockSplitMatchesSharedSequence(t *testing.T) {
+	// BlockSplit streams must reproduce the exact shared sequence.
+	const k, blockLen = 4, 100
+	master := New(55)
+	var serial []uint64
+	for i := 0; i < k*blockLen; i++ {
+		serial = append(serial, master.Uint64())
+	}
+	streams := BlockSplit(55, k, 0, blockLen)
+	for s, st := range streams {
+		for j := 0; j < blockLen; j++ {
+			if got, want := st.Uint64(), serial[s*blockLen+j]; got != want {
+				t.Fatalf("stream %d pos %d: %d want %d", s, j, got, want)
+			}
+		}
+	}
+}
+
+func TestLeapfrogPositions(t *testing.T) {
+	master := New(66)
+	var serial []uint64
+	for i := 0; i < 10; i++ {
+		serial = append(serial, master.Uint64())
+	}
+	streams := Leapfrog(66, 3, 0)
+	for i, st := range streams {
+		if got := st.Uint64(); got != serial[i] {
+			t.Fatalf("leapfrog stream %d first draw = %d, want %d", i, got, serial[i])
+		}
+	}
+}
+
+func TestStreamsAreDistinct(t *testing.T) {
+	ss := Streams(77, 8)
+	seen := map[uint64]bool{}
+	for _, s := range ss {
+		v := s.Uint64()
+		if seen[v] {
+			t.Fatal("independent streams produced identical first draws")
+		}
+		seen[v] = true
+	}
+}
+
+func TestSplitMix64Known(t *testing.T) {
+	// Reference value from the SplitMix64 reference implementation:
+	// seed 0 -> first output 0xE220A8397B1DCDAF.
+	s := SplitMix64{State: 0}
+	if v := s.Next(); v != 0xE220A8397B1DCDAF {
+		t.Errorf("SplitMix64(0) first = %#x, want 0xE220A8397B1DCDAF", v)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(88)
+	xs := []string{"a", "b", "c", "d", "e"}
+	Shuffle(r, xs)
+	counts := map[string]int{}
+	for _, x := range xs {
+		counts[x]++
+	}
+	for _, want := range []string{"a", "b", "c", "d", "e"} {
+		if counts[want] != 1 {
+			t.Fatalf("shuffle lost element %q: %v", want, xs)
+		}
+	}
+}
+
+func BenchmarkLCG64Next(b *testing.B) {
+	g := NewLCG64(1)
+	for i := 0; i < b.N; i++ {
+		g.Uint64()
+	}
+}
+
+func BenchmarkLCG64Jump(b *testing.B) {
+	g := NewLCG64(1)
+	for i := 0; i < b.N; i++ {
+		g.Jump(1 << 30)
+	}
+}
+
+func BenchmarkMinStdJump(b *testing.B) {
+	g := NewMinStd(1)
+	for i := 0; i < b.N; i++ {
+		g.Jump(1 << 30)
+	}
+}
+
+func TestPCG32JumpMatchesSerial(t *testing.T) {
+	for _, n := range []uint64{0, 1, 2, 7, 100, 12345} {
+		serial := NewPCG32(99)
+		for i := uint64(0); i < n; i++ {
+			serial.next32()
+		}
+		jumped := NewPCG32(99)
+		jumped.Jump(n)
+		if serial.State() != jumped.State() {
+			t.Errorf("PCG Jump(%d): %d want %d", n, jumped.State(), serial.State())
+		}
+	}
+}
+
+func TestPCG32JumpDraws(t *testing.T) {
+	a := NewPCG32(5)
+	for i := 0; i < 10; i++ {
+		a.Uint64()
+	}
+	b := NewPCG32(5)
+	b.JumpDraws(10)
+	if a.Uint64() != b.Uint64() {
+		t.Error("JumpDraws misaligned with Uint64 budget")
+	}
+}
+
+func TestPCG32ReferenceSequence(t *testing.T) {
+	// Reference values from the pcg32_random_r demo: seed 42, stream 54.
+	g := &PCG32{}
+	g.setStream(54)
+	g.Seed(42)
+	want := []uint32{0xa15c02b7, 0x7b47f409, 0xba1d3330, 0x83d2f293, 0xbfa4784b}
+	for i, w := range want {
+		if got := g.next32(); got != w {
+			t.Fatalf("output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestPCG32DistributionSanity(t *testing.T) {
+	r := NewRand(NewPCG32(7))
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if m := sum / n; math.Abs(m-0.5) > 0.01 {
+		t.Errorf("PCG uniform mean %v", m)
+	}
+}
+
+func TestPCG32CloneAndSourceInterface(t *testing.T) {
+	var src Source = NewPCG32(3)
+	src.Uint64()
+	c := src.Clone()
+	if c.Uint64() != func() uint64 {
+		s := NewPCG32(3)
+		s.Uint64()
+		return s.Uint64()
+	}() {
+		t.Error("PCG clone broke position")
+	}
+}
+
+func BenchmarkPCG32Next(b *testing.B) {
+	g := NewPCG32(1)
+	for i := 0; i < b.N; i++ {
+		g.Uint64()
+	}
+}
+
+func TestPCG32JumpProperty(t *testing.T) {
+	f := func(seed uint64, a, b uint16) bool {
+		g1 := NewPCG32(seed)
+		g1.Jump(uint64(a))
+		g1.Jump(uint64(b))
+		g2 := NewPCG32(seed)
+		g2.Jump(uint64(a) + uint64(b))
+		return g1.State() == g2.State()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,144 @@
+package rdd
+
+import "sync"
+
+// Additional operators rounding out the Spark surface the pipeline course
+// exercises: whole-dataset aggregation, value histograms, partition
+// coalescing, zipping, and keyed counting.
+
+// Aggregate folds the dataset with per-partition sequential folds followed
+// by a cross-partition combine — Spark's aggregate(zero, seqOp, combOp).
+func Aggregate[T, A any](d *Dataset[T], zero func() A, seqOp func(A, T) A, combOp func(A, A) A) A {
+	parts := collectParts(d)
+	accs := make([]A, len(parts))
+	for p, part := range parts {
+		acc := zero()
+		for _, v := range part {
+			acc = seqOp(acc, v)
+		}
+		accs[p] = acc
+	}
+	out := zero()
+	for _, a := range accs {
+		out = combOp(out, a)
+	}
+	return out
+}
+
+// CountByValue returns how many times each distinct element occurs.
+func CountByValue[T comparable](d *Dataset[T]) map[T]int {
+	return Aggregate(d,
+		func() map[T]int { return map[T]int{} },
+		func(m map[T]int, v T) map[T]int { m[v]++; return m },
+		func(a, b map[T]int) map[T]int {
+			for k, n := range b {
+				a[k] += n
+			}
+			return a
+		})
+}
+
+// CountByKey returns the number of records per key in a pair dataset.
+func CountByKey[K comparable, V any](d *Dataset[Pair[K, V]]) map[K]int {
+	return Aggregate(d,
+		func() map[K]int { return map[K]int{} },
+		func(m map[K]int, p Pair[K, V]) map[K]int { m[p.Key]++; return m },
+		func(a, b map[K]int) map[K]int {
+			for k, n := range b {
+				a[k] += n
+			}
+			return a
+		})
+}
+
+// Coalesce reduces the dataset to nParts partitions by concatenating
+// neighbouring partitions (no shuffle), as Spark's coalesce does.
+func Coalesce[T any](d *Dataset[T], nParts int) *Dataset[T] {
+	if nParts < 1 {
+		nParts = 1
+	}
+	if nParts >= d.nParts {
+		return d
+	}
+	old := d.nParts
+	return newDataset(d.ctx, nParts, func(p int) []T {
+		lo := p * old / nParts
+		hi := (p + 1) * old / nParts
+		var out []T
+		for q := lo; q < hi; q++ {
+			out = append(out, d.compute(q)...)
+		}
+		return out
+	})
+}
+
+// Zip pairs the i-th element of a with the i-th element of b. Both
+// datasets are materialised once on first evaluation; they must have equal
+// lengths.
+func Zip[A, B any](a *Dataset[A], b *Dataset[B]) *Dataset[Pair[int, JoinRow[A, B]]] {
+	var once sync.Once
+	var rows []Pair[int, JoinRow[A, B]]
+	var zipErr string
+	return newDataset(a.ctx, 1, func(int) []Pair[int, JoinRow[A, B]] {
+		once.Do(func() {
+			as := Collect(a)
+			bs := Collect(b)
+			if len(as) != len(bs) {
+				zipErr = "rdd: Zip length mismatch"
+				return
+			}
+			rows = make([]Pair[int, JoinRow[A, B]], len(as))
+			for i := range as {
+				rows[i] = Pair[int, JoinRow[A, B]]{i, JoinRow[A, B]{as[i], bs[i]}}
+			}
+		})
+		if zipErr != "" {
+			panic(zipErr)
+		}
+		return rows
+	})
+}
+
+// Max returns the largest element under less; ok is false when empty.
+func Max[T any](d *Dataset[T], less func(a, b T) bool) (T, bool) {
+	return Reduce(d, func(a, b T) T {
+		if less(a, b) {
+			return b
+		}
+		return a
+	})
+}
+
+// Min returns the smallest element under less; ok is false when empty.
+func Min[T any](d *Dataset[T], less func(a, b T) bool) (T, bool) {
+	return Reduce(d, func(a, b T) T {
+		if less(b, a) {
+			return b
+		}
+		return a
+	})
+}
+
+// SumFloat64 sums a float64 dataset.
+func SumFloat64(d *Dataset[float64]) float64 {
+	return Aggregate(d,
+		func() float64 { return 0 },
+		func(a float64, v float64) float64 { return a + v },
+		func(a, b float64) float64 { return a + b })
+}
+
+// MeanFloat64 averages a float64 dataset (0 for empty).
+func MeanFloat64(d *Dataset[float64]) float64 {
+	type acc struct {
+		sum float64
+		n   int
+	}
+	a := Aggregate(d,
+		func() acc { return acc{} },
+		func(a acc, v float64) acc { return acc{a.sum + v, a.n + 1} },
+		func(a, b acc) acc { return acc{a.sum + b.sum, a.n + b.n} })
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}

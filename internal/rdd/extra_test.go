@@ -1,0 +1,250 @@
+package rdd
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestAggregate(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, ints(100), 7)
+	sum := Aggregate(d,
+		func() int { return 0 },
+		func(a, v int) int { return a + v },
+		func(a, b int) int { return a + b })
+	if sum != 4950 {
+		t.Errorf("aggregate sum %d", sum)
+	}
+}
+
+func TestCountByValue(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, []string{"a", "b", "a", "c", "a"}, 3)
+	m := CountByValue(d)
+	if m["a"] != 3 || m["b"] != 1 || m["c"] != 1 {
+		t.Errorf("counts %v", m)
+	}
+}
+
+func TestCountByKey(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, []Pair[int, string]{{1, "x"}, {2, "y"}, {1, "z"}}, 2)
+	m := CountByKey(d)
+	if m[1] != 2 || m[2] != 1 {
+		t.Errorf("counts %v", m)
+	}
+}
+
+func TestCoalesce(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, ints(100), 10)
+	c := Coalesce(d, 3)
+	if c.NumPartitions() != 3 {
+		t.Errorf("parts %d", c.NumPartitions())
+	}
+	got := Collect(c)
+	if len(got) != 100 {
+		t.Fatalf("len %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+	// Coalescing up is a no-op.
+	if Coalesce(d, 20) != d {
+		t.Error("coalesce up should return the receiver")
+	}
+	if Coalesce(d, 0).NumPartitions() != 1 {
+		t.Error("coalesce to <1 should clamp to 1")
+	}
+}
+
+func TestCoalescePreservesAllProperty(t *testing.T) {
+	f := func(n uint8, from, to uint8) bool {
+		ctx := NewContext()
+		nn := int(n)
+		f := int(from%10) + 1
+		tt := int(to%10) + 1
+		d := Coalesce(Parallelize(ctx, ints(nn), f), tt)
+		got := Collect(d)
+		if len(got) != nn {
+			return false
+		}
+		for i, v := range got {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZip(t *testing.T) {
+	ctx := NewContext()
+	a := Parallelize(ctx, []string{"x", "y", "z"}, 2)
+	b := Parallelize(ctx, []int{10, 20, 30}, 3)
+	z := Collect(Zip(a, b))
+	if len(z) != 3 {
+		t.Fatalf("zip len %d", len(z))
+	}
+	for i, p := range z {
+		if p.Key != i || p.Value.Right != (i+1)*10 {
+			t.Errorf("zip[%d] = %+v", i, p)
+		}
+	}
+}
+
+func TestZipLengthMismatchPanics(t *testing.T) {
+	ctx := NewContext()
+	a := Parallelize(ctx, ints(3), 1)
+	b := Parallelize(ctx, ints(4), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched zip did not panic")
+		}
+	}()
+	Collect(Zip(a, b))
+}
+
+func TestMinMaxSumMean(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, []float64{3, 1, 4, 1, 5}, 2)
+	less := func(a, b float64) bool { return a < b }
+	if m, ok := Max(d, less); !ok || m != 5 {
+		t.Errorf("max %v %v", m, ok)
+	}
+	if m, ok := Min(d, less); !ok || m != 1 {
+		t.Errorf("min %v %v", m, ok)
+	}
+	if s := SumFloat64(d); s != 14 {
+		t.Errorf("sum %v", s)
+	}
+	if m := MeanFloat64(d); m != 2.8 {
+		t.Errorf("mean %v", m)
+	}
+	empty := Parallelize(ctx, []float64{}, 2)
+	if _, ok := Max(empty, less); ok {
+		t.Error("empty max ok")
+	}
+	if MeanFloat64(empty) != 0 {
+		t.Error("empty mean")
+	}
+}
+
+func BenchmarkPipelineOps(b *testing.B) {
+	ctx := NewContext()
+	data := ints(100000)
+	b.Run("MapFilterCollect", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := Parallelize(ctx, data, 8)
+			sq := Map(d, func(x int) int { return x * x })
+			ev := Filter(sq, func(x int) bool { return x%2 == 0 })
+			Count(ev)
+		}
+	})
+	b.Run("ReduceByKey", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := Parallelize(ctx, data, 8)
+			pairs := Map(d, func(x int) Pair[int, int] { return Pair[int, int]{x % 1000, 1} })
+			Count(ReduceByKey(pairs, func(a, b int) int { return a + b }))
+		}
+	})
+	b.Run("Join", func(b *testing.B) {
+		left := Map(Parallelize(ctx, ints(10000), 8), func(x int) Pair[int, int] { return Pair[int, int]{x, x} })
+		right := Map(Parallelize(ctx, ints(10000), 8), func(x int) Pair[int, int] { return Pair[int, int]{x, -x} })
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			Count(Join(left, right))
+		}
+	})
+}
+
+func TestSaveAsTextDirRoundTrip(t *testing.T) {
+	ctx := NewContext()
+	dir := filepath.Join(t.TempDir(), "out")
+	d := Map(Parallelize(ctx, ints(100), 5), strconv.Itoa)
+	if err := SaveAsTextDir(d, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Five part files + _SUCCESS.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 6 {
+		t.Fatalf("entries %d", len(entries))
+	}
+	back, err := TextDir(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPartitions() != 5 {
+		t.Errorf("partitions %d", back.NumPartitions())
+	}
+	got := Collect(back)
+	if len(got) != 100 {
+		t.Fatalf("rows %d", len(got))
+	}
+	for i, v := range got {
+		if v != strconv.Itoa(i) {
+			t.Fatalf("row %d = %q", i, v)
+		}
+	}
+}
+
+func TestTextDirRequiresSuccessMarker(t *testing.T) {
+	ctx := NewContext()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "part-00000"), []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TextDir(ctx, dir); err == nil {
+		t.Error("half-written output accepted")
+	}
+}
+
+func TestTextDirEmptyOutput(t *testing.T) {
+	ctx := NewContext()
+	dir := filepath.Join(t.TempDir(), "empty")
+	if err := SaveAsTextDir(Parallelize(ctx, []string{}, 1), dir); err != nil {
+		t.Fatal(err)
+	}
+	back, err := TextDir(ctx, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Count(back) != 0 {
+		t.Error("phantom rows")
+	}
+}
+
+func TestDistinctSetSemanticsProperty(t *testing.T) {
+	f := func(xs []uint8, parts uint8) bool {
+		ctx := NewContext()
+		np := int(parts%5) + 1
+		want := map[uint8]bool{}
+		for _, x := range xs {
+			want[x] = true
+		}
+		got := Collect(Distinct(Parallelize(ctx, xs, np)))
+		if len(got) != len(want) {
+			return false
+		}
+		for _, x := range got {
+			if !want[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package rdd
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// SaveAsTextDir writes the dataset Spark-style: a directory with one
+// part-NNNNN file per partition plus a _SUCCESS marker. Downstream jobs
+// re-read it with TextDir.
+func SaveAsTextDir[T any](d *Dataset[T], dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	parts := collectParts(d)
+	for p, part := range parts {
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("part-%05d", p)))
+		if err != nil {
+			return err
+		}
+		w := bufio.NewWriter(f)
+		for _, v := range part {
+			if _, err := fmt.Fprintln(w, v); err != nil {
+				f.Close()
+				return err
+			}
+		}
+		if err := w.Flush(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(filepath.Join(dir, "_SUCCESS"), nil, 0o644)
+}
+
+// TextDir reads a directory written by SaveAsTextDir (or any directory of
+// part-* files), one partition per file, in part order. It refuses
+// directories without the _SUCCESS marker (a half-written output).
+func TextDir(ctx *Context, dir string) (*Dataset[string], error) {
+	if _, err := os.Stat(filepath.Join(dir, "_SUCCESS")); err != nil {
+		return nil, fmt.Errorf("rdd: %s has no _SUCCESS marker: %w", dir, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "part-") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return Parallelize(ctx, []string(nil), 1), nil
+	}
+	parts := make([][]string, len(names))
+	for p, name := range names {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			parts[p] = append(parts[p], sc.Text())
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return newDataset(ctx, len(parts), func(p int) []string { return parts[p] }), nil
+}

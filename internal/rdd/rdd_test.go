@@ -1,0 +1,296 @@
+package rdd
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func ints(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = i
+	}
+	return xs
+}
+
+func TestParallelizeCollect(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, ints(100), 7)
+	if d.NumPartitions() != 7 {
+		t.Errorf("parts %d", d.NumPartitions())
+	}
+	got := Collect(d)
+	if len(got) != 100 {
+		t.Fatalf("len %d", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order broken at %d: %d", i, v)
+		}
+	}
+}
+
+func TestMapFilterFlatMap(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, ints(10), 3)
+	sq := Map(d, func(x int) int { return x * x })
+	even := Filter(sq, func(x int) bool { return x%2 == 0 })
+	dup := FlatMap(even, func(x int) []string {
+		return []string{strconv.Itoa(x), strconv.Itoa(x)}
+	})
+	got := Collect(dup)
+	want := []string{"0", "0", "4", "4", "16", "16", "36", "36", "64", "64"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pos %d: %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountAndReduce(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, ints(101), 4)
+	if c := Count(d); c != 101 {
+		t.Errorf("count %d", c)
+	}
+	sum, ok := Reduce(d, func(a, b int) int { return a + b })
+	if !ok || sum != 100*101/2 {
+		t.Errorf("reduce %d ok=%v", sum, ok)
+	}
+	empty := Parallelize(ctx, []int{}, 3)
+	if _, ok := Reduce(empty, func(a, b int) int { return a + b }); ok {
+		t.Error("empty reduce reported ok")
+	}
+}
+
+func TestReduceByKey(t *testing.T) {
+	ctx := NewContext()
+	words := strings.Fields("a b a c b a")
+	d := Parallelize(ctx, words, 3)
+	pairs := Map(d, func(w string) Pair[string, int] { return Pair[string, int]{w, 1} })
+	counts := CollectMap(ReduceByKey(pairs, func(a, b int) int { return a + b }))
+	if counts["a"] != 3 || counts["b"] != 2 || counts["c"] != 1 {
+		t.Errorf("counts %v", counts)
+	}
+}
+
+func TestReduceByKeyMatchesSerialProperty(t *testing.T) {
+	f := func(keys []uint8, parts uint8) bool {
+		ctx := NewContext()
+		np := int(parts%5) + 1
+		serial := map[uint8]int{}
+		for _, k := range keys {
+			serial[k]++
+		}
+		d := Parallelize(ctx, keys, np)
+		pairs := Map(d, func(k uint8) Pair[uint8, int] { return Pair[uint8, int]{k, 1} })
+		got := CollectMap(ReduceByKey(pairs, func(a, b int) int { return a + b }))
+		if len(got) != len(serial) {
+			return false
+		}
+		for k, v := range serial {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupByKey(t *testing.T) {
+	ctx := NewContext()
+	data := []Pair[string, int]{{"x", 1}, {"y", 2}, {"x", 3}}
+	g := GroupByKey(Parallelize(ctx, data, 2))
+	m := CollectMap(g)
+	sort.Ints(m["x"])
+	if len(m["x"]) != 2 || m["x"][0] != 1 || m["x"][1] != 3 {
+		t.Errorf("x group %v", m["x"])
+	}
+	if len(m["y"]) != 1 || m["y"][0] != 2 {
+		t.Errorf("y group %v", m["y"])
+	}
+}
+
+func TestJoin(t *testing.T) {
+	ctx := NewContext()
+	left := Parallelize(ctx, []Pair[int, string]{{1, "a"}, {2, "b"}, {1, "c"}}, 2)
+	right := Parallelize(ctx, []Pair[int, float64]{{1, 1.5}, {3, 9.9}}, 2)
+	joined := Collect(Join(left, right))
+	if len(joined) != 2 {
+		t.Fatalf("join rows %v", joined)
+	}
+	for _, row := range joined {
+		if row.Key != 1 || row.Value.Right != 1.5 {
+			t.Errorf("bad row %v", row)
+		}
+		if row.Value.Left != "a" && row.Value.Left != "c" {
+			t.Errorf("bad left %v", row)
+		}
+	}
+}
+
+func TestJoinCrossProduct(t *testing.T) {
+	ctx := NewContext()
+	left := Parallelize(ctx, []Pair[int, string]{{1, "a"}, {1, "b"}}, 1)
+	right := Parallelize(ctx, []Pair[int, string]{{1, "x"}, {1, "y"}}, 1)
+	if n := Count(Join(left, right)); n != 4 {
+		t.Errorf("cross product size %d, want 4", n)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, []int{1, 2, 2, 3, 3, 3}, 3)
+	got := Collect(Distinct(d))
+	sort.Ints(got)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("distinct %v", got)
+	}
+}
+
+func TestSortByAndTakeOrdered(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, []int{5, 3, 9, 1, 7}, 3)
+	sorted := Collect(SortBy(d, func(a, b int) bool { return a < b }))
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i-1] > sorted[i] {
+			t.Fatalf("not sorted: %v", sorted)
+		}
+	}
+	top2 := TakeOrdered(d, 2, func(a, b int) bool { return a > b })
+	if len(top2) != 2 || top2[0] != 9 || top2[1] != 7 {
+		t.Errorf("top2 %v", top2)
+	}
+}
+
+func TestUnionAndSample(t *testing.T) {
+	ctx := NewContext()
+	a := Parallelize(ctx, ints(50), 2)
+	b := Parallelize(ctx, ints(50), 3)
+	u := Union(a, b)
+	if u.NumPartitions() != 5 || Count(u) != 100 {
+		t.Errorf("union parts=%d count=%d", u.NumPartitions(), Count(u))
+	}
+	s := Sample(Parallelize(ctx, ints(10000), 4), 0.3, 7)
+	n := Count(s)
+	if n < 2500 || n > 3500 {
+		t.Errorf("sample kept %d of 10000 at frac 0.3", n)
+	}
+	// Determinism.
+	if Count(Sample(Parallelize(ctx, ints(10000), 4), 0.3, 7)) != n {
+		t.Error("sample not deterministic")
+	}
+}
+
+func TestKeyByMapValues(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, []string{"apple", "avocado", "banana"}, 2)
+	keyed := KeyBy(d, func(s string) byte { return s[0] })
+	lens := MapValues(keyed, func(s string) int { return len(s) })
+	counts := CollectMap(ReduceByKey(lens, func(a, b int) int { return a + b }))
+	if counts['a'] != 12 || counts['b'] != 6 {
+		t.Errorf("counts %v", counts)
+	}
+}
+
+func TestCacheEvaluatesOnce(t *testing.T) {
+	ctx := NewContext()
+	var evals int64
+	base := Parallelize(ctx, ints(10), 2)
+	expensive := Map(base, func(x int) int {
+		atomic.AddInt64(&evals, 1)
+		return x
+	}).Cache()
+	Collect(expensive)
+	Collect(expensive)
+	Count(expensive)
+	if evals != 10 {
+		t.Errorf("cached dataset evaluated %d element-times, want 10", evals)
+	}
+}
+
+func TestShuffleCounters(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, ints(100), 4)
+	pairs := Map(d, func(x int) Pair[int, int] { return Pair[int, int]{x % 10, 1} })
+	Collect(ReduceByKey(pairs, func(a, b int) int { return a + b }))
+	if ctx.ShuffleCount() != 1 {
+		t.Errorf("shuffles %d, want 1", ctx.ShuffleCount())
+	}
+	// Map-side combine means at most parts*keys records cross the wire.
+	if ctx.ShuffledRecords() > 40 {
+		t.Errorf("map-side combine ineffective: %d records shuffled", ctx.ShuffledRecords())
+	}
+	if ctx.TaskCount() == 0 {
+		t.Error("no tasks recorded")
+	}
+}
+
+func TestTextFileAndSaveAsText(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.txt")
+	if err := os.WriteFile(in, []byte("one\ntwo\nthree\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx := NewContext()
+	d, err := TextFile(ctx, in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Count(d) != 3 {
+		t.Errorf("lines %d", Count(d))
+	}
+	up := Map(d, strings.ToUpper)
+	out := filepath.Join(dir, "out.txt")
+	if err := SaveAsText(up, out); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if string(data) != "ONE\nTWO\nTHREE\n" {
+		t.Errorf("saved %q", data)
+	}
+	if _, err := TextFile(ctx, filepath.Join(dir, "missing"), 2); err == nil {
+		t.Error("missing file not reported")
+	}
+}
+
+func TestMapPartitionsSeesPartitionIndex(t *testing.T) {
+	ctx := NewContext()
+	d := Parallelize(ctx, ints(8), 4)
+	tagged := MapPartitions(d, func(p int, in []int) []int {
+		out := make([]int, len(in))
+		for i := range in {
+			out[i] = p
+		}
+		return out
+	})
+	got := Collect(tagged)
+	if got[0] != 0 || got[len(got)-1] != 3 {
+		t.Errorf("partition tags %v", got)
+	}
+}
+
+func TestParallelizeUnevenAndEmpty(t *testing.T) {
+	ctx := NewContext()
+	if got := Collect(Parallelize(ctx, ints(5), 10)); len(got) != 5 {
+		t.Errorf("more parts than data: %v", got)
+	}
+	if got := Collect(Parallelize(ctx, []int{}, 3)); len(got) != 0 {
+		t.Errorf("empty data: %v", got)
+	}
+	if Parallelize(ctx, ints(3), 0).NumPartitions() != 1 {
+		t.Error("nParts<1 not clamped")
+	}
+}

@@ -1,0 +1,197 @@
+// Package spatial provides space-partitioning indexes — a k-d tree for
+// arbitrary dimension and a 2D quadtree — with bounding-box lower-bound
+// pruning for nearest-neighbour search. This is the "Data Structures"
+// variation of the kNN assignment (paper §2): for a box of the search
+// space, compute a lower bound on the distance from its points to a query
+// and skip the box when the bound cannot beat the current k-th best.
+package spatial
+
+import (
+	"sort"
+
+	"repro/internal/heapk"
+	"repro/internal/linalg"
+	"repro/internal/par"
+)
+
+// KDTree indexes d-dimensional points with integer payloads (class labels
+// or ids).
+type KDTree struct {
+	dim    int
+	points [][]float64
+	labels []int
+	root   *kdNode
+}
+
+type kdNode struct {
+	// axis is the split dimension; idx is the index of the median point
+	// stored at this node.
+	axis        int
+	idx         int
+	left, right *kdNode
+	// lo, hi bound all points in this subtree per dimension.
+	lo, hi []float64
+}
+
+// NewKDTree builds a balanced k-d tree over points (median splits).
+// The points and labels slices are captured, not copied.
+func NewKDTree(points [][]float64, labels []int) *KDTree {
+	if len(points) != len(labels) {
+		panic("spatial: points/labels length mismatch")
+	}
+	t := &KDTree{points: points, labels: labels}
+	if len(points) == 0 {
+		return t
+	}
+	t.dim = len(points[0])
+	idxs := make([]int, len(points))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	t.root = t.build(idxs, 0)
+	return t
+}
+
+// NewKDTreeParallel builds the left and right subtrees of the root split
+// concurrently, then recursively (down to a grain of 1024 points) — the
+// "more challenging: build the tree in parallel" extension.
+func NewKDTreeParallel(points [][]float64, labels []int, workers int) *KDTree {
+	if len(points) != len(labels) {
+		panic("spatial: points/labels length mismatch")
+	}
+	t := &KDTree{points: points, labels: labels}
+	if len(points) == 0 {
+		return t
+	}
+	t.dim = len(points[0])
+	idxs := make([]int, len(points))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	t.root = t.buildParallel(idxs, 0, workers)
+	return t
+}
+
+func (t *KDTree) bounds(idxs []int) (lo, hi []float64) {
+	lo = make([]float64, t.dim)
+	hi = make([]float64, t.dim)
+	copy(lo, t.points[idxs[0]])
+	copy(hi, t.points[idxs[0]])
+	for _, i := range idxs[1:] {
+		for d, v := range t.points[i] {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+func (t *KDTree) build(idxs []int, depth int) *kdNode {
+	if len(idxs) == 0 {
+		return nil
+	}
+	lo, hi := t.bounds(idxs)
+	axis := depth % t.dim
+	sort.Slice(idxs, func(a, b int) bool {
+		return t.points[idxs[a]][axis] < t.points[idxs[b]][axis]
+	})
+	mid := len(idxs) / 2
+	n := &kdNode{axis: axis, idx: idxs[mid], lo: lo, hi: hi}
+	n.left = t.build(idxs[:mid], depth+1)
+	n.right = t.build(idxs[mid+1:], depth+1)
+	return n
+}
+
+func (t *KDTree) buildParallel(idxs []int, depth, workers int) *kdNode {
+	if len(idxs) < 1024 || workers <= 1 {
+		return t.build(idxs, depth)
+	}
+	lo, hi := t.bounds(idxs)
+	axis := depth % t.dim
+	sort.Slice(idxs, func(a, b int) bool {
+		return t.points[idxs[a]][axis] < t.points[idxs[b]][axis]
+	})
+	mid := len(idxs) / 2
+	n := &kdNode{axis: axis, idx: idxs[mid], lo: lo, hi: hi}
+	par.Do(
+		func() { n.left = t.buildParallel(idxs[:mid], depth+1, workers/2) },
+		func() { n.right = t.buildParallel(idxs[mid+1:], depth+1, workers-workers/2) },
+	)
+	return n
+}
+
+// Len returns the number of indexed points.
+func (t *KDTree) Len() int { return len(t.points) }
+
+// boxLowerBound returns the squared distance from q to the axis-aligned
+// box [lo, hi] — zero when q is inside.
+func boxLowerBound(q, lo, hi []float64) float64 {
+	s := 0.0
+	for d, v := range q {
+		if v < lo[d] {
+			diff := lo[d] - v
+			s += diff * diff
+		} else if v > hi[d] {
+			diff := v - hi[d]
+			s += diff * diff
+		}
+	}
+	return s
+}
+
+// Nearest returns the labels and squared distances of the k nearest
+// indexed points to q, ordered by ascending distance. Stats, when non-nil,
+// receives the number of points actually examined (for the pruning
+// ablation).
+func (t *KDTree) Nearest(q []float64, k int, stats *SearchStats) (labels []int, dists []float64) {
+	h := heapk.New[int](k)
+	t.search(t.root, q, h, stats)
+	items := h.Sorted()
+	labels = make([]int, len(items))
+	dists = make([]float64, len(items))
+	for i, it := range items {
+		labels[i] = it.Value
+		dists[i] = it.Priority
+	}
+	return labels, dists
+}
+
+// SearchStats counts work done during Nearest.
+type SearchStats struct {
+	// PointsExamined is how many stored points had their distance
+	// computed.
+	PointsExamined int
+	// NodesPruned is how many subtrees the box lower bound eliminated.
+	NodesPruned int
+}
+
+func (t *KDTree) search(n *kdNode, q []float64, h *heapk.Heap[int], stats *SearchStats) {
+	if n == nil {
+		return
+	}
+	if worst, full := h.Max(); full {
+		if boxLowerBound(q, n.lo, n.hi) >= worst {
+			if stats != nil {
+				stats.NodesPruned++
+			}
+			return
+		}
+	}
+	d := linalg.SqDist(q, t.points[n.idx])
+	if stats != nil {
+		stats.PointsExamined++
+	}
+	h.Offer(d, t.labels[n.idx])
+
+	// Descend the near side first for tighter early bounds.
+	near, far := n.left, n.right
+	if q[n.axis] > t.points[n.idx][n.axis] {
+		near, far = far, near
+	}
+	t.search(near, q, h, stats)
+	t.search(far, q, h, stats)
+}

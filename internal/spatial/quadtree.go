@@ -1,0 +1,192 @@
+package spatial
+
+// QuadTree is a 2D point quadtree with leaf buckets — the space
+// partitioning structure the assignment suggests for a Data Structures
+// course (paper §2). It supports k-nearest queries with the same box
+// lower-bound pruning as the k-d tree, and axis-aligned range queries.
+type QuadTree struct {
+	root *quadNode
+	size int
+}
+
+type quadNode struct {
+	// Box bounds.
+	x0, y0, x1, y1 float64
+	// Leaf storage until it overflows.
+	px, py []float64
+	labels []int
+	kids   *[4]*quadNode
+}
+
+const quadBucket = 16
+
+// NewQuadTree creates a tree covering the box [x0,x1] x [y0,y1].
+func NewQuadTree(x0, y0, x1, y1 float64) *QuadTree {
+	if x1 <= x0 || y1 <= y0 {
+		panic("spatial: quadtree needs a non-empty box")
+	}
+	return &QuadTree{root: &quadNode{x0: x0, y0: y0, x1: x1, y1: y1}}
+}
+
+// Len returns the number of inserted points.
+func (t *QuadTree) Len() int { return t.size }
+
+// Insert adds a point with a label; points outside the root box are
+// clamped onto its boundary.
+func (t *QuadTree) Insert(x, y float64, label int) {
+	if x < t.root.x0 {
+		x = t.root.x0
+	}
+	if x > t.root.x1 {
+		x = t.root.x1
+	}
+	if y < t.root.y0 {
+		y = t.root.y0
+	}
+	if y > t.root.y1 {
+		y = t.root.y1
+	}
+	t.root.insert(x, y, label, 0)
+	t.size++
+}
+
+const quadMaxDepth = 32
+
+func (n *quadNode) insert(x, y float64, label, depth int) {
+	if n.kids == nil {
+		if len(n.px) < quadBucket || depth >= quadMaxDepth {
+			n.px = append(n.px, x)
+			n.py = append(n.py, y)
+			n.labels = append(n.labels, label)
+			return
+		}
+		n.split(depth)
+	}
+	n.kids[n.quadrant(x, y)].insert(x, y, label, depth+1)
+}
+
+func (n *quadNode) quadrant(x, y float64) int {
+	mx, my := (n.x0+n.x1)/2, (n.y0+n.y1)/2
+	q := 0
+	if x > mx {
+		q |= 1
+	}
+	if y > my {
+		q |= 2
+	}
+	return q
+}
+
+func (n *quadNode) split(depth int) {
+	mx, my := (n.x0+n.x1)/2, (n.y0+n.y1)/2
+	n.kids = &[4]*quadNode{
+		{x0: n.x0, y0: n.y0, x1: mx, y1: my},
+		{x0: mx, y0: n.y0, x1: n.x1, y1: my},
+		{x0: n.x0, y0: my, x1: mx, y1: n.y1},
+		{x0: mx, y0: my, x1: n.x1, y1: n.y1},
+	}
+	for i := range n.px {
+		n.kids[n.quadrant(n.px[i], n.py[i])].insert(n.px[i], n.py[i], n.labels[i], depth+1)
+	}
+	n.px, n.py, n.labels = nil, nil, nil
+}
+
+// Range calls visit for every point inside [x0,x1] x [y0,y1].
+func (t *QuadTree) Range(x0, y0, x1, y1 float64, visit func(x, y float64, label int)) {
+	t.root.rangeQuery(x0, y0, x1, y1, visit)
+}
+
+func (n *quadNode) rangeQuery(x0, y0, x1, y1 float64, visit func(x, y float64, label int)) {
+	if n.x1 < x0 || n.x0 > x1 || n.y1 < y0 || n.y0 > y1 {
+		return
+	}
+	if n.kids != nil {
+		for _, k := range n.kids {
+			k.rangeQuery(x0, y0, x1, y1, visit)
+		}
+		return
+	}
+	for i := range n.px {
+		if n.px[i] >= x0 && n.px[i] <= x1 && n.py[i] >= y0 && n.py[i] <= y1 {
+			visit(n.px[i], n.py[i], n.labels[i])
+		}
+	}
+}
+
+// Nearest returns labels and squared distances of the k nearest points to
+// (qx, qy), ascending.
+func (t *QuadTree) Nearest(qx, qy float64, k int) (labels []int, dists []float64) {
+	type best struct {
+		d     float64
+		label int
+	}
+	var found []best
+	worst := func() (float64, bool) {
+		if len(found) < k {
+			return 0, false
+		}
+		w := found[0].d
+		for _, b := range found[1:] {
+			if b.d > w {
+				w = b.d
+			}
+		}
+		return w, true
+	}
+	offer := func(d float64, label int) {
+		if len(found) < k {
+			found = append(found, best{d, label})
+			return
+		}
+		wi := 0
+		for i := 1; i < len(found); i++ {
+			if found[i].d > found[wi].d {
+				wi = i
+			}
+		}
+		if d < found[wi].d {
+			found[wi] = best{d, label}
+		}
+	}
+	var walk func(n *quadNode)
+	walk = func(n *quadNode) {
+		if n == nil {
+			return
+		}
+		if w, full := worst(); full {
+			lb := boxLowerBound([]float64{qx, qy}, []float64{n.x0, n.y0}, []float64{n.x1, n.y1})
+			if lb >= w {
+				return
+			}
+		}
+		if n.kids != nil {
+			// Visit the child containing the query first.
+			first := n.quadrant(qx, qy)
+			walk(n.kids[first])
+			for i, kid := range n.kids {
+				if i != first {
+					walk(kid)
+				}
+			}
+			return
+		}
+		for i := range n.px {
+			dx, dy := n.px[i]-qx, n.py[i]-qy
+			offer(dx*dx+dy*dy, n.labels[i])
+		}
+	}
+	walk(t.root)
+	// Sort ascending (k is small).
+	for i := 1; i < len(found); i++ {
+		for j := i; j > 0 && found[j].d < found[j-1].d; j-- {
+			found[j], found[j-1] = found[j-1], found[j]
+		}
+	}
+	labels = make([]int, len(found))
+	dists = make([]float64, len(found))
+	for i, b := range found {
+		labels[i] = b.label
+		dists[i] = b.d
+	}
+	return labels, dists
+}

@@ -1,0 +1,245 @@
+package spatial
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+	"repro/internal/prng"
+)
+
+func randomPoints(seed uint64, n, dim int) ([][]float64, []int) {
+	r := prng.New(seed)
+	pts := make([][]float64, n)
+	labels := make([]int, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = r.Range(0, 100)
+		}
+		pts[i] = p
+		labels[i] = i
+	}
+	return pts, labels
+}
+
+// bruteNearest returns the k nearest labels/dists by exhaustive scan.
+func bruteNearest(pts [][]float64, labels []int, q []float64, k int) ([]int, []float64) {
+	type c struct {
+		d float64
+		l int
+	}
+	cs := make([]c, len(pts))
+	for i, p := range pts {
+		cs[i] = c{linalg.SqDist(q, p), labels[i]}
+	}
+	sort.Slice(cs, func(a, b int) bool { return cs[a].d < cs[b].d })
+	if len(cs) > k {
+		cs = cs[:k]
+	}
+	ls := make([]int, len(cs))
+	ds := make([]float64, len(cs))
+	for i, cc := range cs {
+		ls[i] = cc.l
+		ds[i] = cc.d
+	}
+	return ls, ds
+}
+
+func TestKDTreeMatchesBruteForce(t *testing.T) {
+	pts, labels := randomPoints(1, 500, 3)
+	tree := NewKDTree(pts, labels)
+	r := prng.New(2)
+	for trial := 0; trial < 50; trial++ {
+		q := []float64{r.Range(0, 100), r.Range(0, 100), r.Range(0, 100)}
+		gotL, gotD := tree.Nearest(q, 7, nil)
+		_, wantD := bruteNearest(pts, labels, q, 7)
+		if len(gotD) != len(wantD) {
+			t.Fatalf("count %d vs %d", len(gotD), len(wantD))
+		}
+		for i := range wantD {
+			if gotD[i] != wantD[i] {
+				t.Fatalf("trial %d pos %d: dist %v want %v", trial, i, gotD[i], wantD[i])
+			}
+		}
+		_ = gotL
+	}
+}
+
+func TestKDTreeProperty(t *testing.T) {
+	f := func(seed uint64, kRaw uint8) bool {
+		k := int(kRaw%10) + 1
+		pts, labels := randomPoints(seed, 120, 2)
+		tree := NewKDTree(pts, labels)
+		q := []float64{50, 50}
+		_, gotD := tree.Nearest(q, k, nil)
+		_, wantD := bruteNearest(pts, labels, q, k)
+		for i := range wantD {
+			if gotD[i] != wantD[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKDTreePruningReducesWork(t *testing.T) {
+	pts, labels := randomPoints(3, 5000, 2)
+	tree := NewKDTree(pts, labels)
+	var stats SearchStats
+	tree.Nearest([]float64{50, 50}, 5, &stats)
+	if stats.PointsExamined >= 5000/2 {
+		t.Errorf("pruning examined %d of 5000 points", stats.PointsExamined)
+	}
+	if stats.NodesPruned == 0 {
+		t.Error("nothing pruned")
+	}
+}
+
+func TestKDTreeParallelMatchesSerial(t *testing.T) {
+	pts, labels := randomPoints(4, 3000, 3)
+	serial := NewKDTree(pts, labels)
+	parallel := NewKDTreeParallel(append([][]float64(nil), pts...), append([]int(nil), labels...), 4)
+	r := prng.New(5)
+	for trial := 0; trial < 20; trial++ {
+		q := []float64{r.Range(0, 100), r.Range(0, 100), r.Range(0, 100)}
+		_, d1 := serial.Nearest(q, 5, nil)
+		_, d2 := parallel.Nearest(q, 5, nil)
+		for i := range d1 {
+			if d1[i] != d2[i] {
+				t.Fatal("parallel build gives different neighbours")
+			}
+		}
+	}
+}
+
+func TestKDTreeEmptyAndTiny(t *testing.T) {
+	empty := NewKDTree(nil, nil)
+	if empty.Len() != 0 {
+		t.Error("empty len")
+	}
+	ls, ds := empty.Nearest([]float64{1}, 3, nil)
+	if len(ls) != 0 || len(ds) != 0 {
+		t.Error("empty tree returned neighbours")
+	}
+	one := NewKDTree([][]float64{{1, 2}}, []int{42})
+	ls, _ = one.Nearest([]float64{0, 0}, 5, nil)
+	if len(ls) != 1 || ls[0] != 42 {
+		t.Errorf("single-point tree %v", ls)
+	}
+}
+
+func TestKDTreeMismatchedInputPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatched input")
+		}
+	}()
+	NewKDTree([][]float64{{1}}, []int{1, 2})
+}
+
+func TestBoxLowerBound(t *testing.T) {
+	lo, hi := []float64{0, 0}, []float64{10, 10}
+	if d := boxLowerBound([]float64{5, 5}, lo, hi); d != 0 {
+		t.Errorf("inside %v", d)
+	}
+	if d := boxLowerBound([]float64{13, 14}, lo, hi); d != 9+16 {
+		t.Errorf("outside %v", d)
+	}
+	if d := boxLowerBound([]float64{-3, 5}, lo, hi); d != 9 {
+		t.Errorf("left %v", d)
+	}
+}
+
+func TestQuadTreeMatchesBruteForce(t *testing.T) {
+	r := prng.New(6)
+	qt := NewQuadTree(0, 0, 100, 100)
+	var pts [][]float64
+	var labels []int
+	for i := 0; i < 800; i++ {
+		x, y := r.Range(0, 100), r.Range(0, 100)
+		qt.Insert(x, y, i)
+		pts = append(pts, []float64{x, y})
+		labels = append(labels, i)
+	}
+	for trial := 0; trial < 30; trial++ {
+		q := []float64{r.Range(0, 100), r.Range(0, 100)}
+		_, gotD := qt.Nearest(q[0], q[1], 5)
+		_, wantD := bruteNearest(pts, labels, q, 5)
+		for i := range wantD {
+			if gotD[i] != wantD[i] {
+				t.Fatalf("trial %d: %v want %v", trial, gotD, wantD)
+			}
+		}
+	}
+}
+
+func TestQuadTreeRange(t *testing.T) {
+	qt := NewQuadTree(0, 0, 10, 10)
+	qt.Insert(1, 1, 1)
+	qt.Insert(5, 5, 2)
+	qt.Insert(9, 9, 3)
+	var got []int
+	qt.Range(4, 4, 10, 10, func(_, _ float64, label int) { got = append(got, label) })
+	sort.Ints(got)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("range %v", got)
+	}
+}
+
+func TestQuadTreeClampsOutside(t *testing.T) {
+	qt := NewQuadTree(0, 0, 10, 10)
+	qt.Insert(-5, 50, 7)
+	if qt.Len() != 1 {
+		t.Error("clamped insert lost")
+	}
+	ls, _ := qt.Nearest(0, 10, 1)
+	if len(ls) != 1 || ls[0] != 7 {
+		t.Error("clamped point not findable")
+	}
+}
+
+func TestQuadTreeDeepDuplicates(t *testing.T) {
+	// Identical points can never be separated by splitting; the depth
+	// cap must prevent infinite recursion.
+	qt := NewQuadTree(0, 0, 1, 1)
+	for i := 0; i < 200; i++ {
+		qt.Insert(0.5, 0.5, i)
+	}
+	if qt.Len() != 200 {
+		t.Error("duplicate inserts lost")
+	}
+	ls, _ := qt.Nearest(0.5, 0.5, 10)
+	if len(ls) != 10 {
+		t.Errorf("got %d of duplicate neighbours", len(ls))
+	}
+}
+
+func TestQuadTreeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty box accepted")
+		}
+	}()
+	NewQuadTree(5, 5, 5, 5)
+}
+
+func BenchmarkKDTreeVsBrute(b *testing.B) {
+	pts, labels := randomPoints(9, 5000, 2)
+	tree := NewKDTree(pts, labels)
+	q := []float64{33, 66}
+	b.Run("KDTree", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree.Nearest(q, 15, nil)
+		}
+	})
+	b.Run("Brute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bruteNearest(pts, labels, q, 15)
+		}
+	})
+}

@@ -1,0 +1,287 @@
+// Package stats provides the measurement plumbing the experiment harness
+// shares: summary statistics, classification metrics (accuracy, confusion
+// matrix, predictive entropy), speedup/efficiency series, and a Markdown
+// table printer used to regenerate the paper's exhibits.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}
+
+// MinMax returns the extremes of xs; it panics on empty input.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Median returns the median of xs (average of middle two for even length).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	n := len(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// Entropy returns the Shannon entropy (nats) of a probability vector.
+// Zero probabilities contribute zero. This is the predictive-uncertainty
+// measure the ensemble assignment reports (paper §7).
+func Entropy(p []float64) float64 {
+	h := 0.0
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// Accuracy returns the fraction of positions where pred equals label.
+func Accuracy(pred, label []int) float64 {
+	if len(pred) != len(label) {
+		panic("stats: Accuracy length mismatch")
+	}
+	if len(pred) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, p := range pred {
+		if p == label[i] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+// ConfusionMatrix counts (actual, predicted) pairs over classes [0, k).
+type ConfusionMatrix struct {
+	K      int
+	Counts [][]int // Counts[actual][predicted]
+}
+
+// NewConfusionMatrix builds the matrix from parallel prediction and label
+// slices over k classes.
+func NewConfusionMatrix(k int, pred, label []int) *ConfusionMatrix {
+	cm := &ConfusionMatrix{K: k, Counts: make([][]int, k)}
+	for i := range cm.Counts {
+		cm.Counts[i] = make([]int, k)
+	}
+	for i, p := range pred {
+		cm.Counts[label[i]][p]++
+	}
+	return cm
+}
+
+// Accuracy returns the trace ratio of the confusion matrix.
+func (cm *ConfusionMatrix) Accuracy() float64 {
+	diag, total := 0, 0
+	for a := 0; a < cm.K; a++ {
+		for p := 0; p < cm.K; p++ {
+			total += cm.Counts[a][p]
+			if a == p {
+				diag += cm.Counts[a][p]
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(diag) / float64(total)
+}
+
+// Speedup converts a series of times (indexed by a worker-count axis) into
+// speedups relative to times[0].
+func Speedup(times []float64) []float64 {
+	out := make([]float64, len(times))
+	for i, t := range times {
+		if t > 0 {
+			out[i] = times[0] / t
+		}
+	}
+	return out
+}
+
+// Efficiency converts times plus their worker counts into parallel
+// efficiency: speedup/workers.
+func Efficiency(times []float64, workers []int) []float64 {
+	sp := Speedup(times)
+	out := make([]float64, len(sp))
+	for i := range sp {
+		if workers[i] > 0 {
+			out[i] = sp[i] / float64(workers[i])
+		}
+	}
+	return out
+}
+
+// Table accumulates rows and renders a GitHub-flavoured Markdown table;
+// every regenerated exhibit is emitted through it so outputs diff cleanly.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 1000 || math.Abs(v) < 0.001:
+		return fmt.Sprintf("%.3e", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Rows returns the formatted rows added so far.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// String renders the table as Markdown.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "### %s\n\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i := range t.Headers {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			fmt.Fprintf(&b, " %-*s |", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Headers)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2) + "|")
+	}
+	b.WriteString("\n")
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Silhouette returns the mean silhouette coefficient of a clustering: for
+// each point, (b-a)/max(a,b) where a is the mean distance to its own
+// cluster and b the smallest mean distance to another cluster. Values
+// near 1 mean tight, well-separated clusters. O(n^2) — intended for
+// evaluation-sized samples. dist must be a metric over point indices.
+func Silhouette(n, k int, assign []int, dist func(i, j int) float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	total, counted := 0.0, 0
+	for i := 0; i < n; i++ {
+		sums := make([]float64, k)
+		counts := make([]int, k)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			sums[assign[j]] += dist(i, j)
+			counts[assign[j]]++
+		}
+		own := assign[i]
+		if counts[own] == 0 {
+			continue // singleton cluster: silhouette undefined
+		}
+		a := sums[own] / float64(counts[own])
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == own || counts[c] == 0 {
+				continue
+			}
+			if m := sums[c] / float64(counts[c]); m < b {
+				b = m
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue // only one non-empty cluster
+		}
+		total += (b - a) / math.Max(a, b)
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

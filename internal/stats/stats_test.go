@@ -1,0 +1,161 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean %v", m)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("stddev %v", s)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || Median(nil) != 0 {
+		t.Error("empty inputs should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 0})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %v, %v", lo, hi)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := Median([]float64{5, 1, 3}); m != 3 {
+		t.Errorf("odd median %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Errorf("even median %v", m)
+	}
+}
+
+func TestEntropy(t *testing.T) {
+	// Uniform over k has entropy ln(k); a point mass has 0.
+	if h := Entropy([]float64{1, 0, 0}); h != 0 {
+		t.Errorf("point mass entropy %v", h)
+	}
+	h := Entropy([]float64{0.25, 0.25, 0.25, 0.25})
+	if math.Abs(h-math.Log(4)) > 1e-12 {
+		t.Errorf("uniform entropy %v want %v", h, math.Log(4))
+	}
+}
+
+func TestEntropyMaximisedByUniform(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		s := float64(a) + float64(b) + float64(c) + 3
+		p := []float64{(float64(a) + 1) / s, (float64(b) + 1) / s, (float64(c) + 1) / s}
+		return Entropy(p) <= math.Log(3)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	if a := Accuracy([]int{1, 2, 3, 4}, []int{1, 2, 0, 4}); a != 0.75 {
+		t.Errorf("accuracy %v", a)
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	cm := NewConfusionMatrix(3, []int{0, 1, 1, 2}, []int{0, 1, 2, 2})
+	if cm.Counts[0][0] != 1 || cm.Counts[1][1] != 1 || cm.Counts[2][1] != 1 || cm.Counts[2][2] != 1 {
+		t.Errorf("counts %v", cm.Counts)
+	}
+	if a := cm.Accuracy(); a != 0.75 {
+		t.Errorf("cm accuracy %v", a)
+	}
+}
+
+func TestSpeedupEfficiency(t *testing.T) {
+	times := []float64{8, 4, 2}
+	sp := Speedup(times)
+	if sp[0] != 1 || sp[1] != 2 || sp[2] != 4 {
+		t.Errorf("speedup %v", sp)
+	}
+	eff := Efficiency(times, []int{1, 2, 4})
+	if eff[0] != 1 || eff[1] != 1 || eff[2] != 1 {
+		t.Errorf("efficiency %v", eff)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("beta", 123456.0)
+	s := tb.String()
+	if !strings.Contains(s, "### Demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "1.5") {
+		t.Error("missing cells")
+	}
+	if !strings.Contains(s, "1.235e+05") {
+		t.Errorf("large float formatting: %s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// title, blank, header, separator, two rows
+	if len(lines) != 6 {
+		t.Errorf("unexpected line count %d:\n%s", len(lines), s)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(1)
+	if strings.Contains(tb.String(), "###") {
+		t.Error("untitled table rendered a title")
+	}
+	if len(tb.Rows()) != 1 {
+		t.Error("rows not recorded")
+	}
+}
+
+func TestSilhouettePerfectClusters(t *testing.T) {
+	// Two tight, far-apart clusters on a line.
+	pts := []float64{0, 0.1, 0.2, 100, 100.1, 100.2}
+	assign := []int{0, 0, 0, 1, 1, 1}
+	s := Silhouette(6, 2, assign, func(i, j int) float64 {
+		return math.Abs(pts[i] - pts[j])
+	})
+	if s < 0.99 {
+		t.Errorf("tight clusters silhouette %v", s)
+	}
+}
+
+func TestSilhouetteBadClustering(t *testing.T) {
+	// Same points, labels scrambled across the gap: silhouette near or
+	// below zero.
+	pts := []float64{0, 0.1, 0.2, 100, 100.1, 100.2}
+	assign := []int{0, 1, 0, 1, 0, 1}
+	s := Silhouette(6, 2, assign, func(i, j int) float64 {
+		return math.Abs(pts[i] - pts[j])
+	})
+	if s > 0.1 {
+		t.Errorf("scrambled clustering silhouette %v", s)
+	}
+}
+
+func TestSilhouetteDegenerate(t *testing.T) {
+	if Silhouette(0, 2, nil, nil) != 0 {
+		t.Error("empty silhouette")
+	}
+	// All points in one cluster -> no b -> 0.
+	if s := Silhouette(3, 2, []int{0, 0, 0}, func(i, j int) float64 { return 1 }); s != 0 {
+		t.Errorf("single-cluster silhouette %v", s)
+	}
+	// Singletons skipped.
+	if s := Silhouette(2, 2, []int{0, 1}, func(i, j int) float64 { return 1 }); s != 0 {
+		t.Errorf("all-singleton silhouette %v", s)
+	}
+}

@@ -1,0 +1,178 @@
+// Package taskfarm distributes M independent tasks over the P ranks of a
+// cluster — the PDC concept of the hyper-parameter-optimisation assignment
+// (paper §7): "how to distribute independent tasks to different nodes in
+// MPI when the number of nodes is not evenly divisible by the number of
+// tasks". Static block and cyclic assignments expose the remainder
+// imbalance; the dynamic manager-worker farm trades messages for balance.
+package taskfarm
+
+import "repro/internal/cluster"
+
+// Mode selects a static assignment shape.
+type Mode int
+
+const (
+	// Block gives rank r tasks [r*M/P, (r+1)*M/P) — contiguous chunks.
+	Block Mode = iota
+	// Cyclic gives rank r tasks r, r+P, r+2P, ... — round robin.
+	Cyclic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Cyclic {
+		return "cyclic"
+	}
+	return "block"
+}
+
+// Report describes who executed what.
+type Report struct {
+	// PerRank[r] is the number of tasks rank r executed.
+	PerRank []int
+}
+
+// MaxLoad returns the largest per-rank task count.
+func (r Report) MaxLoad() int {
+	max := 0
+	for _, n := range r.PerRank {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Imbalance returns max/mean load (1.0 = perfectly balanced); 0 when no
+// tasks ran.
+func (r Report) Imbalance() float64 {
+	total := 0
+	for _, n := range r.PerRank {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(r.PerRank))
+	return float64(r.MaxLoad()) / mean
+}
+
+// WorkerImbalance returns max/mean load over ranks 1..P-1 — the right
+// balance metric for the manager-worker farm, where rank 0 intentionally
+// executes nothing. Falls back to Imbalance for single-rank reports.
+func (r Report) WorkerImbalance() float64 {
+	if len(r.PerRank) <= 1 {
+		return r.Imbalance()
+	}
+	return Report{PerRank: r.PerRank[1:]}.Imbalance()
+}
+
+// StaticTasks returns the task ids assigned to rank of size under mode.
+func StaticTasks(m, size, rank int, mode Mode) []int {
+	var out []int
+	switch mode {
+	case Cyclic:
+		for t := rank; t < m; t += size {
+			out = append(out, t)
+		}
+	default:
+		lo := rank * m / size
+		hi := (rank + 1) * m / size
+		for t := lo; t < hi; t++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// RunStatic executes tasks [0, m) with a static assignment. Every rank
+// calls it collectively with the same m and mode; exec(task) runs on the
+// assigned rank. Results (indexed by task) and the load report are
+// returned on rank 0; other ranks get nil results.
+func RunStatic[R any](c *cluster.Comm, m int, mode Mode, exec func(task int) R) ([]R, Report) {
+	type tr struct {
+		Task  int
+		Value R
+	}
+	var local []tr
+	for _, t := range StaticTasks(m, c.Size(), c.Rank(), mode) {
+		local = append(local, tr{t, exec(t)})
+	}
+	gathered := cluster.Gather(c, 0, local)
+	report := Report{}
+	if c.Rank() != 0 {
+		return nil, report
+	}
+	results := make([]R, m)
+	report.PerRank = make([]int, c.Size())
+	for r, batch := range gathered {
+		report.PerRank[r] = len(batch)
+		for _, e := range batch {
+			results[e.Task] = e.Value
+		}
+	}
+	return results, report
+}
+
+// Control tags for the dynamic farm (private to this collective pattern).
+const (
+	tagRequest = 7001
+	tagAssign  = 7002
+	tagResult  = 7003
+)
+
+// RunDynamic executes tasks [0, m) with a manager-worker farm: rank 0
+// hands out one task at a time to whichever worker asks next, so expensive
+// tasks no longer gate the remainder distribution. With one rank the
+// manager executes everything itself. Results and the report land on rank
+// 0; other ranks get nil.
+func RunDynamic[R any](c *cluster.Comm, m int, exec func(task int) R) ([]R, Report) {
+	type tr struct {
+		Task  int
+		Value R
+	}
+	if c.Size() == 1 {
+		results := make([]R, m)
+		for t := 0; t < m; t++ {
+			results[t] = exec(t)
+		}
+		return results, Report{PerRank: []int{m}}
+	}
+	if c.Rank() == 0 {
+		results := make([]R, m)
+		perRank := make([]int, c.Size())
+		next := 0
+		done := 0
+		workersLeft := c.Size() - 1
+		for done < m || workersLeft > 0 {
+			// Serve any message: request or result.
+			payload, src := cluster.RecvFrom[any](c, cluster.AnySource, cluster.AnyTag)
+			switch v := payload.(type) {
+			case string: // request marker
+				_ = v
+				if next < m {
+					cluster.Send(c, src, tagAssign, next)
+					perRank[src]++
+					next++
+				} else {
+					cluster.Send(c, src, tagAssign, -1)
+					workersLeft--
+				}
+			case tr:
+				results[v.Task] = v.Value
+				done++
+			}
+		}
+		return results, Report{PerRank: perRank}
+	}
+	// Worker loop.
+	for {
+		cluster.Send(c, 0, tagRequest, "req")
+		task := cluster.Recv[int](c, 0, tagAssign)
+		if task < 0 {
+			return nil, Report{}
+		}
+		v := exec(task)
+		cluster.Send(c, 0, tagResult, tr{task, v})
+	}
+}

@@ -1,0 +1,235 @@
+package taskfarm
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func TestStaticTasksCoverage(t *testing.T) {
+	f := func(m uint8, size uint8, modeRaw bool) bool {
+		mm := int(m)
+		ss := int(size%8) + 1
+		mode := Block
+		if modeRaw {
+			mode = Cyclic
+		}
+		seen := make([]int, mm)
+		for r := 0; r < ss; r++ {
+			for _, task := range StaticTasks(mm, ss, r, mode) {
+				if task < 0 || task >= mm {
+					return false
+				}
+				seen[task]++
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStaticBlockShape(t *testing.T) {
+	got := StaticTasks(10, 3, 0, Block)
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Errorf("block rank0 %v", got)
+	}
+	got = StaticTasks(10, 3, 2, Block)
+	if len(got) != 4 || got[0] != 6 {
+		t.Errorf("block rank2 %v", got)
+	}
+}
+
+func TestStaticCyclicShape(t *testing.T) {
+	got := StaticTasks(10, 4, 1, Cyclic)
+	want := []int{1, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("cyclic %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("cyclic[%d]=%d", i, got[i])
+		}
+	}
+}
+
+func TestRunStaticResults(t *testing.T) {
+	for _, mode := range []Mode{Block, Cyclic} {
+		for _, p := range []int{1, 3, 4} {
+			w := cluster.NewWorld(p)
+			var results []int
+			var rep Report
+			err := w.Run(func(c *cluster.Comm) {
+				r, rp := RunStatic(c, 10, mode, func(task int) int { return task * task })
+				if c.Rank() == 0 {
+					results, rep = r, rp
+				} else if r != nil {
+					t.Error("non-root got results")
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for task, v := range results {
+				if v != task*task {
+					t.Errorf("mode=%v P=%d task %d = %d", mode, p, task, v)
+				}
+			}
+			total := 0
+			for _, n := range rep.PerRank {
+				total += n
+			}
+			if total != 10 {
+				t.Errorf("report total %d", total)
+			}
+		}
+	}
+}
+
+func TestRunStaticImbalanceWhenNotDivisible(t *testing.T) {
+	// M=10, P=4 -> loads 2,3,2,3 under block: imbalance 3/2.5 = 1.2.
+	w := cluster.NewWorld(4)
+	var rep Report
+	err := w.Run(func(c *cluster.Comm) {
+		_, r := RunStatic(c, 10, Block, func(task int) int { return task })
+		if c.Rank() == 0 {
+			rep = r
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.MaxLoad() != 3 {
+		t.Errorf("max load %d", rep.MaxLoad())
+	}
+	if rep.Imbalance() <= 1.0 {
+		t.Errorf("imbalance %v should exceed 1 when P does not divide M", rep.Imbalance())
+	}
+}
+
+func TestRunDynamicResults(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 6, 8} {
+		w := cluster.NewWorld(p)
+		var results []int
+		var rep Report
+		err := w.Run(func(c *cluster.Comm) {
+			r, rp := RunDynamic(c, 10, func(task int) int { return task + 100 })
+			if c.Rank() == 0 {
+				results, rep = r, rp
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 10 {
+			t.Fatalf("P=%d results %v", p, results)
+		}
+		for task, v := range results {
+			if v != task+100 {
+				t.Errorf("P=%d task %d = %d", p, task, v)
+			}
+		}
+		total := 0
+		for _, n := range rep.PerRank {
+			total += n
+		}
+		if total != 10 {
+			t.Errorf("P=%d dynamic report total %d", p, total)
+		}
+		// Manager does not execute tasks when P > 1.
+		if p > 1 && rep.PerRank[0] != 0 {
+			t.Errorf("manager executed %d tasks", rep.PerRank[0])
+		}
+	}
+}
+
+func TestRunDynamicZeroTasks(t *testing.T) {
+	w := cluster.NewWorld(3)
+	err := w.Run(func(c *cluster.Comm) {
+		r, _ := RunDynamic(c, 0, func(task int) int { return task })
+		if c.Rank() == 0 && len(r) != 0 {
+			t.Errorf("zero tasks produced %v", r)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicBalancesHeterogeneousTasks(t *testing.T) {
+	// Tasks 0 and 1 are "slow" (they model big NN configs). The dynamic
+	// farm assigns tasks on demand, so the two slow tasks land on
+	// different workers, while static block hands both (plus a third
+	// task) to rank 0. Durations are real sleeps: sleeping goroutines do
+	// not hold a CPU, so this measures scheduling shape, not host speed.
+	const m = 8
+	cost := func(task int) time.Duration {
+		if task < 2 {
+			return 40 * time.Millisecond
+		}
+		return 1 * time.Millisecond
+	}
+	measure := func(run func(c *cluster.Comm)) time.Duration {
+		w := cluster.NewWorld(3)
+		start := time.Now()
+		if err := w.Run(run); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	staticTime := measure(func(c *cluster.Comm) {
+		RunStatic(c, m, Block, func(task int) int {
+			time.Sleep(cost(task))
+			return task
+		})
+	})
+	dynTime := measure(func(c *cluster.Comm) {
+		RunDynamic(c, m, func(task int) int {
+			time.Sleep(cost(task))
+			return task
+		})
+	})
+	// Static block: rank 0 sleeps ~81ms. Dynamic: each worker takes one
+	// slow task, ~43ms. Require a clear gap to avoid flakiness.
+	if dynTime >= staticTime*3/4 {
+		t.Errorf("dynamic (%v) not clearly better than static (%v) on skewed tasks", dynTime, staticTime)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Block.String() != "block" || Cyclic.String() != "cyclic" {
+		t.Error("mode names")
+	}
+}
+
+func TestReportEdgeCases(t *testing.T) {
+	if (Report{}).Imbalance() != 0 {
+		t.Error("empty report imbalance")
+	}
+	r := Report{PerRank: []int{2, 2}}
+	if r.Imbalance() != 1.0 {
+		t.Error("balanced report imbalance")
+	}
+}
+
+func TestWorkerImbalance(t *testing.T) {
+	r := Report{PerRank: []int{0, 5, 5}}
+	if r.WorkerImbalance() != 1.0 {
+		t.Errorf("worker imbalance %v", r.WorkerImbalance())
+	}
+	if r.Imbalance() <= 1.0 {
+		t.Error("raw imbalance should count the idle manager")
+	}
+	single := Report{PerRank: []int{4}}
+	if single.WorkerImbalance() != 1.0 {
+		t.Error("single-rank fallback")
+	}
+}

@@ -1,0 +1,81 @@
+package traffic
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestClusterMatchesSerialBitExact(t *testing.T) {
+	ref, _ := New(fig3Config())
+	ref.RunSerial(100)
+	want := ref.Fingerprint()
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		s, _ := New(fig3Config())
+		if err := s.RunCluster(cluster.NewWorld(p), 100); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Fingerprint(); got != want {
+			t.Errorf("P=%d fingerprint %x want %x", p, got, want)
+		}
+	}
+}
+
+func TestClusterResumesAcrossBatches(t *testing.T) {
+	// Serial 50 + cluster 50 must equal cluster 100 must equal serial 100.
+	ref, _ := New(fig3Config())
+	ref.RunSerial(100)
+
+	mixed, _ := New(fig3Config())
+	mixed.RunSerial(50)
+	if err := mixed.RunCluster(cluster.NewWorld(4), 50); err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Fingerprint() != ref.Fingerprint() {
+		t.Error("serial+cluster mix diverges")
+	}
+}
+
+func TestClusterHaloTrafficPerStep(t *testing.T) {
+	// Communication per step is one int per rank (the ring halo), so the
+	// byte count should be ~ P * steps * 8 plus the final gather.
+	cfg := Config{Cars: 100, RoadLen: 500, VMax: 5, P: 0.2, Seed: 11}
+	s, _ := New(cfg)
+	w := cluster.NewWorld(4)
+	const steps = 50
+	if err := s.RunCluster(w, steps); err != nil {
+		t.Fatal(err)
+	}
+	haloBytes := int64(4 * steps * 8)
+	gatherBytes := int64(2 * 100 * 8 * 2) // pos+vel, generous
+	if w.TotalBytes() > haloBytes+gatherBytes+4096 {
+		t.Errorf("cluster traffic too chatty: %d bytes", w.TotalBytes())
+	}
+}
+
+func TestClusterRejectsTooManyRanks(t *testing.T) {
+	s, _ := New(Config{Cars: 2, RoadLen: 10, VMax: 1, P: 0, Seed: 1})
+	if err := s.RunCluster(cluster.NewWorld(5), 1); err == nil {
+		t.Error("accepted more ranks than cars")
+	}
+}
+
+func TestClusterSingleCar(t *testing.T) {
+	s, _ := New(Config{Cars: 1, RoadLen: 10, VMax: 3, P: 0, Seed: 1})
+	if err := s.RunCluster(cluster.NewWorld(1), 10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Velocities()[0] != 3 {
+		t.Errorf("lone car velocity %d", s.Velocities()[0])
+	}
+}
+
+func TestClusterEmptyRoad(t *testing.T) {
+	s, _ := New(Config{Cars: 0, RoadLen: 10, VMax: 3, P: 0, Seed: 1})
+	if err := s.RunCluster(cluster.NewWorld(2), 5); err != nil {
+		t.Fatal(err)
+	}
+	if s.Step() != 5 {
+		t.Errorf("steps %d", s.Step())
+	}
+}

@@ -1,0 +1,65 @@
+package traffic
+
+import "testing"
+
+func TestGridMatchesAgentBitExact(t *testing.T) {
+	// The paper's two representations of the same model must evolve
+	// identically when fed the same random stream in the same order.
+	agent, _ := New(fig3Config())
+	grid, err := NewGrid(fig3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 5; batch++ {
+		agent.RunSerial(40)
+		grid.RunSerial(40)
+		if agent.Fingerprint() != grid.Fingerprint() {
+			t.Fatalf("batch %d: grid %x vs agent %x", batch, grid.Fingerprint(), agent.Fingerprint())
+		}
+	}
+}
+
+func TestGridOccupancyMatchesAgent(t *testing.T) {
+	agent, _ := New(Config{Cars: 30, RoadLen: 150, VMax: 4, P: 0.3, Seed: 5})
+	grid, _ := NewGrid(Config{Cars: 30, RoadLen: 150, VMax: 4, P: 0.3, Seed: 5})
+	agent.RunSerial(77)
+	grid.RunSerial(77)
+	a, g := agent.Occupancy(), grid.Occupancy()
+	for x := range a {
+		if a[x] != g[x] {
+			t.Fatalf("cell %d: agent %d grid %d", x, a[x], g[x])
+		}
+	}
+}
+
+func TestGridCellsConsistent(t *testing.T) {
+	grid, _ := NewGrid(Config{Cars: 25, RoadLen: 100, VMax: 5, P: 0.2, Seed: 9})
+	grid.RunSerial(120)
+	// cells and pos must agree exactly.
+	seen := 0
+	for x := 0; x < 100; x++ {
+		if id := grid.CarAt(x); id >= 0 {
+			seen++
+			if grid.pos[id] != x {
+				t.Fatalf("car %d: cells says %d, pos says %d", id, x, grid.pos[id])
+			}
+		}
+	}
+	if seen != 25 {
+		t.Errorf("cells hold %d cars", seen)
+	}
+}
+
+func TestGridValidatesConfig(t *testing.T) {
+	if _, err := NewGrid(Config{Cars: 5, RoadLen: 2, VMax: 1}); err == nil {
+		t.Error("invalid grid config accepted")
+	}
+}
+
+func TestGridEmptyRoad(t *testing.T) {
+	grid, _ := NewGrid(Config{Cars: 0, RoadLen: 10, VMax: 2, P: 0.1, Seed: 1})
+	grid.RunSerial(5)
+	if grid.Step() != 5 {
+		t.Error("steps not counted")
+	}
+}

@@ -1,0 +1,71 @@
+package traffic
+
+import "testing"
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := NewOpen(Config{RoadLen: 0, VMax: 1}, 0.5); err == nil {
+		t.Error("bad road accepted")
+	}
+	if _, err := NewOpen(Config{RoadLen: 10, VMax: 1}, 1.5); err == nil {
+		t.Error("bad alpha accepted")
+	}
+}
+
+func TestOpenNoInjectionStaysEmpty(t *testing.T) {
+	s, err := NewOpen(Config{RoadLen: 50, VMax: 5, P: 0.1, Seed: 1}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(100)
+	if s.CarCount() != 0 || s.Throughput() != 0 {
+		t.Errorf("cars %d throughput %v on sealed road", s.CarCount(), s.Throughput())
+	}
+}
+
+func TestOpenConservation(t *testing.T) {
+	s, _ := NewOpen(Config{RoadLen: 100, VMax: 5, P: 0.2, Seed: 2}, 0.4)
+	s.Run(500)
+	if s.entered != s.exited+s.CarCount() {
+		t.Errorf("car conservation broken: in %d, out %d, on road %d",
+			s.entered, s.exited, s.CarCount())
+	}
+}
+
+func TestOpenNoCollisions(t *testing.T) {
+	s, _ := NewOpen(Config{RoadLen: 80, VMax: 5, P: 0.3, Seed: 3}, 0.8)
+	for t2 := 0; t2 < 300; t2++ {
+		s.Run(1)
+		for p, v := range s.cells {
+			if v > s.cfg.VMax {
+				t.Fatalf("cell %d velocity %d", p, v)
+			}
+		}
+	}
+}
+
+func TestOpenThroughputRisesWithInjection(t *testing.T) {
+	measure := func(alpha float64) float64 {
+		s, _ := NewOpen(Config{RoadLen: 200, VMax: 5, P: 0.13, Seed: 4}, alpha)
+		s.Run(2000)
+		return s.Throughput()
+	}
+	low := measure(0.05)
+	mid := measure(0.3)
+	if mid <= low {
+		t.Errorf("throughput did not rise with injection: %v vs %v", low, mid)
+	}
+	// Past saturation the road itself limits current: throughput must
+	// plateau, not keep rising linearly with alpha.
+	high := measure(0.9)
+	if high > 2*mid {
+		t.Errorf("no saturation: alpha 0.9 -> %v, alpha 0.3 -> %v", high, mid)
+	}
+}
+
+func TestOpenDensityBounded(t *testing.T) {
+	s, _ := NewOpen(Config{RoadLen: 60, VMax: 3, P: 0.5, Seed: 5}, 1.0)
+	s.Run(1000)
+	if d := s.Density(); d <= 0 || d > 1 {
+		t.Errorf("density %v", d)
+	}
+}

@@ -1,0 +1,324 @@
+// Package traffic implements the Nagel-Schreckenberg stochastic traffic
+// model assignment (paper §5): a circular one-lane road where each car,
+// every time step, accelerates toward vmax, brakes to avoid the car ahead,
+// randomly dawdles with probability p, and moves. The randomness is what
+// produces spontaneous traffic jams (Figure 3); without it the flow is
+// laminar.
+//
+// The package's centrepiece is the assignment's reproducibility
+// requirement: the parallel simulation must emit *exactly* the serial
+// output for any worker count. The serial code draws one random number per
+// car per time step, in car order; parallel workers own contiguous car
+// blocks of a single shared PRNG sequence and fast-forward (prng.Jump)
+// over the draws belonging to other workers' cars. The contrasting
+// PerWorkerSeeds mode — each worker with its own seed, the strategy the
+// assignment warns about — is provided as an ablation.
+package traffic
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/prng"
+)
+
+// RNGMode selects the parallel random-number strategy.
+type RNGMode int
+
+const (
+	// SharedSequence fast-forwards one shared PRNG sequence so parallel
+	// output is bit-identical to serial output (the assignment's goal).
+	SharedSequence RNGMode = iota
+	// PerWorkerSeeds gives every worker an independent stream: fast but
+	// the output depends on the worker count (the cautionary ablation).
+	PerWorkerSeeds
+	// NoRandom disables dawdling entirely (p treated as 0): the
+	// "without randomness, jams do not occur" ablation of Figure 3.
+	NoRandom
+)
+
+// String names the mode.
+func (m RNGMode) String() string {
+	switch m {
+	case SharedSequence:
+		return "shared-sequence"
+	case PerWorkerSeeds:
+		return "per-worker-seeds"
+	case NoRandom:
+		return "no-random"
+	}
+	return "unknown"
+}
+
+// Config describes a simulation instance. Figure 3 uses 200 cars on a
+// road of length 1000 with p = 0.13 and vmax = 5.
+type Config struct {
+	Cars    int
+	RoadLen int
+	VMax    int
+	P       float64
+	Seed    uint64
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Cars < 0 || c.RoadLen < 1 || c.Cars > c.RoadLen {
+		return fmt.Errorf("traffic: need 0 <= cars (%d) <= road length (%d >= 1)", c.Cars, c.RoadLen)
+	}
+	if c.VMax < 0 {
+		return fmt.Errorf("traffic: negative vmax")
+	}
+	if c.P < 0 || c.P > 1 {
+		return fmt.Errorf("traffic: p = %v outside [0, 1]", c.P)
+	}
+	return nil
+}
+
+// Sim is an agent-based simulation state: positions and velocities of the
+// N cars, ordered so that car i+1 is the next car ahead of car i (with
+// wraparound), an invariant the update rule preserves.
+type Sim struct {
+	cfg  Config
+	pos  []int
+	vel  []int
+	step int
+
+	// newVel is scratch for the two-phase parallel update.
+	newVel []int
+}
+
+// New creates a simulation with cars evenly spaced and at rest, as in the
+// assignment's starter code.
+func New(cfg Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{cfg: cfg,
+		pos:    make([]int, cfg.Cars),
+		vel:    make([]int, cfg.Cars),
+		newVel: make([]int, cfg.Cars),
+	}
+	for i := 0; i < cfg.Cars; i++ {
+		s.pos[i] = i * cfg.RoadLen / cfg.Cars
+	}
+	return s, nil
+}
+
+// Config returns the simulation parameters.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Step returns the number of completed time steps.
+func (s *Sim) Step() int { return s.step }
+
+// Positions returns the car positions (aliases internal state).
+func (s *Sim) Positions() []int { return s.pos }
+
+// Velocities returns the car velocities (aliases internal state).
+func (s *Sim) Velocities() []int { return s.vel }
+
+// gap returns the number of empty cells between car i and the car ahead.
+func (s *Sim) gap(i int) int {
+	n := len(s.pos)
+	if n == 1 {
+		return s.cfg.RoadLen - 1
+	}
+	ahead := s.pos[(i+1)%n]
+	g := ahead - s.pos[i]
+	if g <= 0 {
+		g += s.cfg.RoadLen
+	}
+	return g - 1
+}
+
+// advance applies the four NaSch rules to car i, drawing exactly one
+// random number from r (even in deterministic sub-cases, to keep the
+// shared sequence aligned). It returns the car's new velocity.
+func (s *Sim) advance(i int, r *prng.Rand, randomize bool) int {
+	v := s.vel[i]
+	// 1. Accelerate.
+	if v < s.cfg.VMax {
+		v++
+	}
+	// 2. Brake to the gap.
+	if g := s.gap(i); v > g {
+		v = g
+	}
+	// 3. Dawdle. The draw happens unconditionally so that the number of
+	// draws per car per step is exactly one, which the fast-forward
+	// arithmetic relies on.
+	if dawdle := r.Bernoulli(s.cfg.P); randomize && dawdle && v > 0 {
+		v--
+	}
+	return v
+}
+
+// newStepStream returns the shared sequence positioned at the first draw
+// of time step `step` for an n-car simulation.
+func newStepStream(seed uint64, step, n int) *prng.Rand {
+	g := prng.NewLCG64(seed)
+	g.Jump(uint64(step) * uint64(n))
+	return prng.NewRand(g)
+}
+
+// RunSerial advances the simulation by steps time steps with the
+// reference serial loop: one shared PRNG, cars in index order.
+func (s *Sim) RunSerial(steps int) {
+	r := newStepStream(s.cfg.Seed, s.step, len(s.pos))
+	for t := 0; t < steps; t++ {
+		for i := range s.pos {
+			s.newVel[i] = s.advance(i, r, true)
+		}
+		s.move()
+	}
+}
+
+// RunDeterministic advances without randomness (the Figure 3 ablation);
+// the PRNG is still consumed to keep step counting comparable.
+func (s *Sim) RunDeterministic(steps int) {
+	r := newStepStream(s.cfg.Seed, s.step, len(s.pos))
+	for t := 0; t < steps; t++ {
+		for i := range s.pos {
+			s.newVel[i] = s.advance(i, r, false)
+		}
+		s.move()
+	}
+}
+
+// move applies the new velocities and advances positions simultaneously.
+func (s *Sim) move() {
+	for i := range s.pos {
+		s.vel[i] = s.newVel[i]
+		s.pos[i] = (s.pos[i] + s.vel[i]) % s.cfg.RoadLen
+	}
+	s.step++
+}
+
+// RunParallel advances the simulation by steps time steps using workers
+// goroutines under the given RNG mode. In SharedSequence mode the result
+// is bit-identical to RunSerial for every worker count; each worker's
+// stream starts at its block offset within the shared sequence and jumps
+// over the other workers' draws between steps.
+func (s *Sim) RunParallel(steps, workers int, mode RNGMode) {
+	n := len(s.pos)
+	if n == 0 {
+		s.step += steps
+		return
+	}
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Per-worker block bounds.
+	los := make([]int, workers)
+	his := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		los[w] = w * n / workers
+		his[w] = (w + 1) * n / workers
+	}
+
+	// Per-worker streams.
+	streams := make([]*prng.Rand, workers)
+	switch mode {
+	case PerWorkerSeeds:
+		// Independent seeds: irreproducible across worker counts.
+		sm := prng.SplitMix64{State: s.cfg.Seed}
+		for w := range streams {
+			streams[w] = prng.New(sm.Next() + uint64(s.step))
+		}
+	default:
+		// Shared sequence: worker w starts at draw step*N + lo_w.
+		base := uint64(s.step) * uint64(n)
+		for w := range streams {
+			g := prng.NewLCG64(s.cfg.Seed)
+			g.Jump(base + uint64(los[w]))
+			streams[w] = prng.NewRand(g)
+		}
+	}
+
+	randomize := mode != NoRandom
+	for t := 0; t < steps; t++ {
+		// Phase 1: velocities from the frozen positions.
+		par.ForRange(n, workers, par.Static, 0, func(lo, hi, w int) {
+			r := streams[w]
+			for i := lo; i < hi; i++ {
+				s.newVel[i] = s.advance(i, r, randomize)
+			}
+			if mode != PerWorkerSeeds {
+				// Fast-forward over the other workers' draws for
+				// this step: total N draws, we consumed hi-lo.
+				r.Skip(uint64(n - (hi - lo)))
+			}
+		})
+		// Phase 2: simultaneous move (the ForRange return is the barrier).
+		s.move()
+	}
+}
+
+// Fingerprint hashes the full state; equal fingerprints mean bit-identical
+// simulations.
+func (s *Sim) Fingerprint() uint64 {
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	for i := range s.pos {
+		mix(uint64(s.pos[i]))
+		mix(uint64(s.vel[i]))
+	}
+	mix(uint64(s.step))
+	return h
+}
+
+// MeanVelocity returns the average car velocity (the flow measure used in
+// the fundamental-diagram experiment).
+func (s *Sim) MeanVelocity() float64 {
+	if len(s.vel) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, v := range s.vel {
+		sum += v
+	}
+	return float64(sum) / float64(len(s.vel))
+}
+
+// Flow returns cars*meanVelocity/roadLen: the throughput per cell per
+// step.
+func (s *Sim) Flow() float64 {
+	return s.MeanVelocity() * float64(len(s.pos)) / float64(s.cfg.RoadLen)
+}
+
+// Occupancy returns a length-RoadLen slice marking occupied cells with the
+// car's velocity+1 (0 = empty); one row of the space-time diagram.
+func (s *Sim) Occupancy() []int {
+	row := make([]int, s.cfg.RoadLen)
+	for i, p := range s.pos {
+		row[p] = s.vel[i] + 1
+	}
+	return row
+}
+
+// SpaceTime runs the simulation for steps steps (serial, randomized
+// unless mode is NoRandom) and records the occupancy after every step —
+// the raster behind Figure 3.
+func SpaceTime(cfg Config, steps int, mode RNGMode) ([][]int, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]int, 0, steps+1)
+	rows = append(rows, s.Occupancy())
+	for t := 0; t < steps; t++ {
+		if mode == NoRandom {
+			s.RunDeterministic(1)
+		} else {
+			s.RunSerial(1)
+		}
+		rows = append(rows, s.Occupancy())
+	}
+	return rows, nil
+}

@@ -1,0 +1,299 @@
+package traffic
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func fig3Config() Config {
+	return Config{Cars: 200, RoadLen: 1000, VMax: 5, P: 0.13, Seed: 42}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Cars: -1, RoadLen: 10, VMax: 1},
+		{Cars: 11, RoadLen: 10, VMax: 1},
+		{Cars: 1, RoadLen: 0, VMax: 1},
+		{Cars: 1, RoadLen: 10, VMax: -1},
+		{Cars: 1, RoadLen: 10, VMax: 1, P: 1.5},
+	}
+	for i, c := range bad {
+		if c.Validate() == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+	if fig3Config().Validate() != nil {
+		t.Error("fig3 config rejected")
+	}
+}
+
+func TestNoCollisionsInvariant(t *testing.T) {
+	s, err := New(fig3Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 100; step++ {
+		s.RunSerial(1)
+		seen := map[int]bool{}
+		for _, p := range s.Positions() {
+			if p < 0 || p >= 1000 {
+				t.Fatalf("position %d out of road", p)
+			}
+			if seen[p] {
+				t.Fatalf("collision at cell %d, step %d", p, step)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestCarOrderPreserved(t *testing.T) {
+	// Relative order on the ring must never change; with car 0's position
+	// unwrapped, positions must stay strictly increasing modulo rotation.
+	s, _ := New(Config{Cars: 50, RoadLen: 300, VMax: 5, P: 0.3, Seed: 7})
+	s.RunSerial(200)
+	pos := s.Positions()
+	// Unwrap: find the minimal position's index; from there the sequence
+	// must be strictly increasing.
+	minIdx := 0
+	for i, p := range pos {
+		if p < pos[minIdx] {
+			minIdx = i
+		}
+	}
+	prev := -1
+	for k := 0; k < len(pos); k++ {
+		p := pos[(minIdx+k)%len(pos)]
+		if p <= prev {
+			t.Fatalf("order violated at offset %d: %d after %d", k, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestVelocityBounds(t *testing.T) {
+	s, _ := New(fig3Config())
+	s.RunSerial(150)
+	for i, v := range s.Velocities() {
+		if v < 0 || v > 5 {
+			t.Fatalf("car %d velocity %d", i, v)
+		}
+	}
+}
+
+func TestReproducibleAcrossWorkerCounts(t *testing.T) {
+	// C5: the paper's core requirement — identical output for any number
+	// of workers under the shared-sequence strategy.
+	ref, _ := New(fig3Config())
+	ref.RunSerial(100)
+	want := ref.Fingerprint()
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		s, _ := New(fig3Config())
+		s.RunParallel(100, workers, SharedSequence)
+		if got := s.Fingerprint(); got != want {
+			t.Errorf("workers=%d fingerprint %x, want %x", workers, got, want)
+		}
+	}
+}
+
+func TestReproducibleAcrossStepBatches(t *testing.T) {
+	// Running 100 steps at once must equal 10 batches of 10 (the jump
+	// offset bookkeeping across calls).
+	a, _ := New(fig3Config())
+	a.RunParallel(100, 4, SharedSequence)
+	b, _ := New(fig3Config())
+	for i := 0; i < 10; i++ {
+		b.RunParallel(10, 4, SharedSequence)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("batched parallel run diverges")
+	}
+	c, _ := New(fig3Config())
+	c.RunSerial(50)
+	c.RunParallel(50, 3, SharedSequence)
+	if c.Fingerprint() != a.Fingerprint() {
+		t.Error("mixed serial/parallel run diverges")
+	}
+}
+
+func TestPerWorkerSeedsDivergeAcrossWorkerCounts(t *testing.T) {
+	// The ablation: per-worker seeding gives different trajectories for
+	// different worker counts (that is exactly why the assignment
+	// forbids it).
+	a, _ := New(fig3Config())
+	a.RunParallel(50, 2, PerWorkerSeeds)
+	b, _ := New(fig3Config())
+	b.RunParallel(50, 4, PerWorkerSeeds)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("per-worker seeds unexpectedly reproducible")
+	}
+}
+
+func TestJamsOnlyWithRandomness(t *testing.T) {
+	// Figure 3's caption: jams (stopped/slow cars) appear only with
+	// randomness. Deterministic flow at density 0.2 settles to uniform
+	// velocity 4 (gap = 4 < vmax).
+	det, _ := New(fig3Config())
+	det.RunDeterministic(300)
+	vels := det.Velocities()
+	for i, v := range vels {
+		if v != 4 {
+			t.Fatalf("deterministic car %d velocity %d, want uniform 4", i, v)
+		}
+	}
+	rnd, _ := New(fig3Config())
+	rnd.RunSerial(300)
+	slow := 0
+	for _, v := range rnd.Velocities() {
+		if v <= 1 {
+			slow++
+		}
+	}
+	if slow == 0 {
+		t.Error("randomized run shows no slow cars (no jams)")
+	}
+}
+
+func TestSpaceTimeShape(t *testing.T) {
+	rows, err := SpaceTime(Config{Cars: 20, RoadLen: 100, VMax: 5, P: 0.2, Seed: 1}, 50, SharedSequence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 51 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for ti, row := range rows {
+		if len(row) != 100 {
+			t.Fatalf("row %d width %d", ti, len(row))
+		}
+		cars := 0
+		for _, c := range row {
+			if c > 0 {
+				cars++
+			}
+		}
+		if cars != 20 {
+			t.Fatalf("row %d has %d cars", ti, cars)
+		}
+	}
+	if _, err := SpaceTime(Config{Cars: 5, RoadLen: 2, VMax: 1}, 1, SharedSequence); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestFlowAndMeanVelocity(t *testing.T) {
+	s, _ := New(Config{Cars: 10, RoadLen: 100, VMax: 5, P: 0, Seed: 1})
+	s.RunSerial(20) // p=0: deterministic full speed
+	if mv := s.MeanVelocity(); mv != 5 {
+		t.Errorf("mean velocity %v at low density, p=0", mv)
+	}
+	if f := s.Flow(); f != 0.5 {
+		t.Errorf("flow %v", f)
+	}
+	empty, _ := New(Config{Cars: 0, RoadLen: 10, VMax: 5})
+	if empty.MeanVelocity() != 0 {
+		t.Error("empty road mean velocity")
+	}
+}
+
+func TestFundamentalDiagramShape(t *testing.T) {
+	// Flow rises with density at low density and falls at high density
+	// (the NaSch fundamental diagram).
+	flow := func(cars int) float64 {
+		s, _ := New(Config{Cars: cars, RoadLen: 400, VMax: 5, P: 0.13, Seed: 5})
+		s.RunSerial(300)
+		// Average flow over a window.
+		sum := 0.0
+		for i := 0; i < 50; i++ {
+			s.RunSerial(1)
+			sum += s.Flow()
+		}
+		return sum / 50
+	}
+	low := flow(20)   // density 0.05
+	mid := flow(80)   // density 0.2
+	high := flow(320) // density 0.8
+	if !(mid > low*1.5) {
+		t.Errorf("flow not rising: low=%v mid=%v", low, mid)
+	}
+	if !(high < mid/1.5) {
+		t.Errorf("flow not falling: mid=%v high=%v", mid, high)
+	}
+}
+
+func TestSingleCarNeverBrakes(t *testing.T) {
+	s, _ := New(Config{Cars: 1, RoadLen: 10, VMax: 3, P: 0, Seed: 1})
+	s.RunSerial(10)
+	if s.Velocities()[0] != 3 {
+		t.Errorf("lone car velocity %d", s.Velocities()[0])
+	}
+}
+
+func TestFullRoadGridlock(t *testing.T) {
+	s, _ := New(Config{Cars: 10, RoadLen: 10, VMax: 5, P: 0.5, Seed: 3})
+	before := append([]int(nil), s.Positions()...)
+	s.RunSerial(20)
+	for i, p := range s.Positions() {
+		if p != before[i] {
+			t.Fatal("cars moved on a full road")
+		}
+	}
+}
+
+func TestParallelInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, workersRaw, stepsRaw uint8) bool {
+		workers := int(workersRaw%8) + 1
+		steps := int(stepsRaw % 50)
+		s, err := New(Config{Cars: 30, RoadLen: 120, VMax: 4, P: 0.25, Seed: seed})
+		if err != nil {
+			return false
+		}
+		s.RunParallel(steps, workers, SharedSequence)
+		// Invariants: unique positions, bounded velocities.
+		pos := append([]int(nil), s.Positions()...)
+		sort.Ints(pos)
+		for i := 1; i < len(pos); i++ {
+			if pos[i] == pos[i-1] {
+				return false
+			}
+		}
+		for _, v := range s.Velocities() {
+			if v < 0 || v > 4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestModeNames(t *testing.T) {
+	if SharedSequence.String() != "shared-sequence" ||
+		PerWorkerSeeds.String() != "per-worker-seeds" ||
+		NoRandom.String() != "no-random" ||
+		RNGMode(9).String() != "unknown" {
+		t.Error("mode names")
+	}
+}
+
+func BenchmarkStep(b *testing.B) {
+	for _, mode := range []RNGMode{SharedSequence, PerWorkerSeeds} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s, _ := New(fig3Config())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.RunParallel(1, 4, mode)
+			}
+		})
+	}
+	b.Run("serial", func(b *testing.B) {
+		s, _ := New(fig3Config())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.RunSerial(1)
+		}
+	})
+}

@@ -1,0 +1,101 @@
+package viz
+
+import "math"
+
+// Series is one named line in a chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Shade  uint8 // grayscale intensity of the line (0 = black)
+	marker bool
+}
+
+// LineChart rasterises one or more series onto a w x h grayscale canvas
+// with light axes — enough to eyeball the shape of a sweep (fundamental
+// diagrams, elbow curves) without any plotting dependency.
+func LineChart(w, h int, series []Series) *Gray {
+	img := NewGray(w, h)
+	const margin = 8
+	// Bounds over all series.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) || maxX == minX {
+		return img
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	px := func(x float64) int {
+		return margin + int((x-minX)/(maxX-minX)*float64(w-2*margin-1))
+	}
+	py := func(y float64) int {
+		return h - margin - 1 - int((y-minY)/(maxY-minY)*float64(h-2*margin-1))
+	}
+	// Axes.
+	for x := margin; x < w-margin; x++ {
+		img.Set(x, h-margin-1, 200)
+	}
+	for y := margin; y < h-margin; y++ {
+		img.Set(margin, y, 200)
+	}
+	// Lines.
+	for _, s := range series {
+		for i := 1; i < len(s.X); i++ {
+			drawSeg(img, px(s.X[i-1]), py(s.Y[i-1]), px(s.X[i]), py(s.Y[i]), s.Shade)
+		}
+		// Point markers.
+		for i := range s.X {
+			x, y := px(s.X[i]), py(s.Y[i])
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					img.Set(x+dx, y+dy, s.Shade)
+				}
+			}
+		}
+	}
+	return img
+}
+
+// drawSeg draws a line segment with integer Bresenham.
+func drawSeg(img *Gray, x0, y0, x1, y1 int, shade uint8) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		img.Set(x0, y0, shade)
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,57 @@
+package viz
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"strings"
+)
+
+// ColorModel implements image.Image.
+func (g *Gray) ColorModel() color.Model { return color.GrayModel }
+
+// Bounds implements image.Image.
+func (g *Gray) Bounds() image.Rectangle { return image.Rect(0, 0, g.W, g.H) }
+
+// AtColor implements image.Image's At (named to avoid clashing with the
+// existing pixel accessor).
+func (g *Gray) AtColor(x, y int) color.Color { return color.Gray{Y: g.At(x, y)} }
+
+// WritePNG encodes the raster as PNG.
+func (g *Gray) WritePNG(w io.Writer) error {
+	return png.Encode(w, grayAdapter{g})
+}
+
+// grayAdapter bridges the At-name clash with image.Image.
+type grayAdapter struct{ g *Gray }
+
+func (a grayAdapter) ColorModel() color.Model { return color.GrayModel }
+func (a grayAdapter) Bounds() image.Rectangle { return a.g.Bounds() }
+func (a grayAdapter) At(x, y int) color.Color { return color.Gray{Y: a.g.At(x, y)} }
+
+// ColorModel implements image.Image.
+func (r *RGB) ColorModel() color.Model { return color.RGBAModel }
+
+// Bounds implements image.Image.
+func (r *RGB) Bounds() image.Rectangle { return image.Rect(0, 0, r.W, r.H) }
+
+// WritePNG encodes the raster as PNG.
+func (r *RGB) WritePNG(w io.Writer) error {
+	return png.Encode(w, rgbAdapter{r})
+}
+
+type rgbAdapter struct{ r *RGB }
+
+func (a rgbAdapter) ColorModel() color.Model { return color.RGBAModel }
+func (a rgbAdapter) Bounds() image.Rectangle { return a.r.Bounds() }
+func (a rgbAdapter) At(x, y int) color.Color {
+	cr, cg, cb := a.r.At(x, y)
+	return color.RGBA{R: cr, G: cg, B: cb, A: 255}
+}
+
+// saveByExtension routes SaveRaster by file extension: .png gets PNG
+// encoding, anything else the raster's native PGM/PPM format.
+func wantsPNG(path string) bool {
+	return strings.HasSuffix(strings.ToLower(path), ".png")
+}

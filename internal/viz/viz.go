@@ -1,0 +1,238 @@
+// Package viz renders the paper's visual exhibits without any external
+// imaging dependency: grayscale PGM and color PPM rasters, ASCII heat maps
+// and scatter plots. Figure 1 (K-means clusters), Figure 2 (NTA heat map)
+// and Figure 3 (traffic space-time diagram) are all emitted through it.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// Gray is a grayscale raster with values in [0, 255].
+type Gray struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewGray allocates a white (255) raster.
+func NewGray(w, h int) *Gray {
+	g := &Gray{W: w, H: h, Pix: make([]uint8, w*h)}
+	for i := range g.Pix {
+		g.Pix[i] = 255
+	}
+	return g
+}
+
+// Set writes pixel (x, y); out-of-bounds writes are ignored.
+func (g *Gray) Set(x, y int, v uint8) {
+	if x < 0 || x >= g.W || y < 0 || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// At reads pixel (x, y).
+func (g *Gray) At(x, y int) uint8 { return g.Pix[y*g.W+x] }
+
+// WritePGM serialises the raster in binary PGM (P5).
+func (g *Gray) WritePGM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return err
+	}
+	_, err := w.Write(g.Pix)
+	return err
+}
+
+// RGB is a 24-bit color raster.
+type RGB struct {
+	W, H int
+	Pix  []uint8 // 3 bytes per pixel
+}
+
+// NewRGB allocates a white raster.
+func NewRGB(w, h int) *RGB {
+	r := &RGB{W: w, H: h, Pix: make([]uint8, 3*w*h)}
+	for i := range r.Pix {
+		r.Pix[i] = 255
+	}
+	return r
+}
+
+// Set writes pixel (x, y); out-of-bounds writes are ignored.
+func (r *RGB) Set(x, y int, cr, cg, cb uint8) {
+	if x < 0 || x >= r.W || y < 0 || y >= r.H {
+		return
+	}
+	i := 3 * (y*r.W + x)
+	r.Pix[i], r.Pix[i+1], r.Pix[i+2] = cr, cg, cb
+}
+
+// At reads pixel (x, y).
+func (r *RGB) At(x, y int) (uint8, uint8, uint8) {
+	i := 3 * (y*r.W + x)
+	return r.Pix[i], r.Pix[i+1], r.Pix[i+2]
+}
+
+// WritePPM serialises the raster in binary PPM (P6).
+func (r *RGB) WritePPM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", r.W, r.H); err != nil {
+		return err
+	}
+	_, err := w.Write(r.Pix)
+	return err
+}
+
+// SaveRaster writes a Gray or RGB raster to path: PNG when the path ends
+// in .png, otherwise the raster's native binary PGM/PPM format.
+func SaveRaster(path string, img any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch v := img.(type) {
+	case *Gray:
+		if wantsPNG(path) {
+			return v.WritePNG(f)
+		}
+		return v.WritePGM(f)
+	case *RGB:
+		if wantsPNG(path) {
+			return v.WritePNG(f)
+		}
+		return v.WritePPM(f)
+	default:
+		return fmt.Errorf("viz: unsupported raster type %T", img)
+	}
+}
+
+// HeatColor maps t in [0, 1] onto a blue→yellow→red heat ramp.
+func HeatColor(t float64) (uint8, uint8, uint8) {
+	if math.IsNaN(t) {
+		return 128, 128, 128
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	switch {
+	case t < 0.5: // blue -> yellow
+		u := t * 2
+		return uint8(255 * u), uint8(64 + 191*u), uint8(255 * (1 - u))
+	default: // yellow -> red
+		u := (t - 0.5) * 2
+		return 255, uint8(255 * (1 - u)), 0
+	}
+}
+
+// Palette returns k visually distinct colors (used for cluster scatter
+// plots like Figure 1).
+func Palette(k int) [][3]uint8 {
+	base := [][3]uint8{
+		{214, 69, 65}, {65, 131, 215}, {38, 166, 91}, {244, 179, 80},
+		{142, 68, 173}, {0, 181, 204}, {243, 104, 224}, {120, 120, 120},
+	}
+	out := make([][3]uint8, k)
+	for i := 0; i < k; i++ {
+		c := base[i%len(base)]
+		// Darken repeats so large k stays distinguishable.
+		shade := 1.0 - 0.35*float64(i/len(base))
+		if shade < 0.3 {
+			shade = 0.3
+		}
+		out[i] = [3]uint8{uint8(float64(c[0]) * shade), uint8(float64(c[1]) * shade), uint8(float64(c[2]) * shade)}
+	}
+	return out
+}
+
+// AsciiHeat renders a matrix of values as an ASCII heat map using a
+// density ramp, one row per line. NaN cells render as spaces.
+func AsciiHeat(vals [][]float64) string {
+	ramp := []rune(" .:-=+*#%@")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, row := range vals {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if lo > hi {
+		return ""
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	for _, row := range vals {
+		for _, v := range row {
+			if math.IsNaN(v) {
+				b.WriteRune(' ')
+				continue
+			}
+			idx := int((v - lo) / span * float64(len(ramp)-1))
+			b.WriteRune(ramp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ScatterRGB plots 2D points colored by class onto a raster. xs and ys are
+// point coordinates; class[i] selects the palette color; marks are 3x3
+// squares. Bounds are computed from the data with 5% padding.
+func ScatterRGB(w, h int, xs, ys []float64, class []int, k int) *RGB {
+	img := NewRGB(w, h)
+	if len(xs) == 0 {
+		return img
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	padX, padY := 0.05*(maxX-minX), 0.05*(maxY-minY)
+	if padX == 0 {
+		padX = 1
+	}
+	if padY == 0 {
+		padY = 1
+	}
+	minX, maxX = minX-padX, maxX+padX
+	minY, maxY = minY-padY, maxY+padY
+	pal := Palette(k)
+	for i := range xs {
+		px := int((xs[i] - minX) / (maxX - minX) * float64(w-1))
+		py := int((maxY - ys[i]) / (maxY - minY) * float64(h-1))
+		c := pal[class[i]%k]
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				img.Set(px+dx, py+dy, c[0], c[1], c[2])
+			}
+		}
+	}
+	return img
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

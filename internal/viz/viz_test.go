@@ -1,0 +1,216 @@
+package viz
+
+import (
+	"bytes"
+	"image/png"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGraySetAt(t *testing.T) {
+	g := NewGray(4, 3)
+	g.Set(1, 2, 7)
+	if g.At(1, 2) != 7 {
+		t.Error("Set/At mismatch")
+	}
+	// Out of bounds must be silently ignored.
+	g.Set(-1, 0, 1)
+	g.Set(4, 0, 1)
+	g.Set(0, 3, 1)
+}
+
+func TestPGMHeader(t *testing.T) {
+	g := NewGray(2, 2)
+	var buf bytes.Buffer
+	if err := g.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P5\n2 2\n255\n") {
+		t.Errorf("bad header: %q", buf.String()[:12])
+	}
+	if buf.Len() != len("P5\n2 2\n255\n")+4 {
+		t.Errorf("bad payload size %d", buf.Len())
+	}
+}
+
+func TestPPMHeader(t *testing.T) {
+	r := NewRGB(3, 2)
+	r.Set(0, 0, 1, 2, 3)
+	cr, cg, cb := r.At(0, 0)
+	if cr != 1 || cg != 2 || cb != 3 {
+		t.Error("RGB Set/At mismatch")
+	}
+	var buf bytes.Buffer
+	if err := r.WritePPM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "P6\n3 2\n255\n") {
+		t.Error("bad PPM header")
+	}
+}
+
+func TestSaveRaster(t *testing.T) {
+	dir := t.TempDir()
+	if err := SaveRaster(filepath.Join(dir, "a.pgm"), NewGray(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRaster(filepath.Join(dir, "a.ppm"), NewRGB(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveRaster(filepath.Join(dir, "a.x"), 42); err == nil {
+		t.Error("unsupported type accepted")
+	}
+	fi, err := os.Stat(filepath.Join(dir, "a.ppm"))
+	if err != nil || fi.Size() == 0 {
+		t.Error("ppm not written")
+	}
+}
+
+func TestHeatColorEndpoints(t *testing.T) {
+	r0, _, b0 := HeatColor(0)
+	if r0 != 0 || b0 != 255 {
+		t.Error("t=0 should be blue")
+	}
+	r1, g1, b1 := HeatColor(1)
+	if r1 != 255 || g1 != 0 || b1 != 0 {
+		t.Error("t=1 should be red")
+	}
+	// Clamping and NaN safety.
+	HeatColor(-5)
+	HeatColor(5)
+	cr, cg, cb := HeatColor(math.NaN())
+	if cr != 128 || cg != 128 || cb != 128 {
+		t.Error("NaN should be gray")
+	}
+}
+
+func TestPaletteDistinct(t *testing.T) {
+	pal := Palette(8)
+	seen := map[[3]uint8]bool{}
+	for _, c := range pal {
+		if seen[c] {
+			t.Fatalf("palette repeats %v", c)
+		}
+		seen[c] = true
+	}
+	if len(Palette(20)) != 20 {
+		t.Error("palette length")
+	}
+}
+
+func TestAsciiHeat(t *testing.T) {
+	s := AsciiHeat([][]float64{{0, 1}, {math.NaN(), 0.5}})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 2 || len([]rune(lines[0])) != 2 {
+		t.Fatalf("shape wrong: %q", s)
+	}
+	if lines[0][0] != ' ' || lines[0][1] != '@' {
+		t.Errorf("ramp endpoints wrong: %q", lines[0])
+	}
+	if lines[1][0] != ' ' {
+		t.Error("NaN should render blank")
+	}
+}
+
+func TestAsciiHeatUniform(t *testing.T) {
+	// All-equal values must not divide by zero.
+	s := AsciiHeat([][]float64{{2, 2}, {2, 2}})
+	if len(s) == 0 {
+		t.Error("empty render")
+	}
+}
+
+func TestAsciiHeatEmpty(t *testing.T) {
+	if AsciiHeat(nil) != "" {
+		t.Error("nil input should render empty")
+	}
+}
+
+func TestScatterRGB(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 1, 0}
+	img := ScatterRGB(50, 40, xs, ys, []int{0, 1, 2}, 3)
+	if img.W != 50 || img.H != 40 {
+		t.Error("dimensions")
+	}
+	// Some pixel must be non-white.
+	colored := false
+	for i := 0; i < len(img.Pix); i += 3 {
+		if img.Pix[i] != 255 || img.Pix[i+1] != 255 || img.Pix[i+2] != 255 {
+			colored = true
+			break
+		}
+	}
+	if !colored {
+		t.Error("scatter drew nothing")
+	}
+	// Degenerate ranges must not crash.
+	ScatterRGB(10, 10, []float64{1, 1}, []float64{2, 2}, []int{0, 0}, 1)
+	ScatterRGB(10, 10, nil, nil, nil, 1)
+}
+
+func TestLineChart(t *testing.T) {
+	img := LineChart(100, 60, []Series{
+		{Name: "a", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 4, 9}, Shade: 0},
+	})
+	if img.W != 100 || img.H != 60 {
+		t.Fatal("dimensions")
+	}
+	dark := 0
+	for _, v := range img.Pix {
+		if v < 100 {
+			dark++
+		}
+	}
+	if dark < 10 {
+		t.Errorf("chart drew only %d dark pixels", dark)
+	}
+	// Degenerate inputs must not crash or draw garbage.
+	LineChart(50, 50, nil)
+	LineChart(50, 50, []Series{{X: []float64{1}, Y: []float64{1}}})
+	LineChart(50, 50, []Series{{X: []float64{1, 1}, Y: []float64{2, 2}}})
+	LineChart(50, 50, []Series{{X: []float64{0, 1}, Y: []float64{3, 3}}})
+}
+
+func TestPNGOutput(t *testing.T) {
+	dir := t.TempDir()
+	g := NewGray(8, 6)
+	g.Set(2, 2, 0)
+	if err := SaveRaster(filepath.Join(dir, "g.png"), g); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRGB(8, 6)
+	r.Set(1, 1, 255, 0, 0)
+	if err := SaveRaster(filepath.Join(dir, "r.png"), r); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"g.png", "r.png"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil || len(data) < 8 {
+			t.Fatalf("%s unwritten", name)
+		}
+		if string(data[1:4]) != "PNG" {
+			t.Errorf("%s lacks PNG signature", name)
+		}
+	}
+	// Round-trip through the stdlib decoder.
+	f, err := os.Open(filepath.Join(dir, "r.png"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	img, err := png.Decode(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != 8 || img.Bounds().Dy() != 6 {
+		t.Error("decoded dimensions wrong")
+	}
+	cr, _, _, _ := img.At(1, 1).RGBA()
+	if cr != 0xffff {
+		t.Error("red pixel lost")
+	}
+}
