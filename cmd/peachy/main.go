@@ -6,6 +6,7 @@
 //	peachy repro -quick         # smaller instances (seconds, not minutes)
 //	peachy repro -only fig3     # one exhibit
 //	peachy repro -out /tmp/out  # choose the output directory
+//	peachy vet ./...            # SPMD correctness analysis (peachyvet)
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 )
 
@@ -31,6 +33,8 @@ func main() {
 		if passed != total {
 			os.Exit(1)
 		}
+	case "vet":
+		os.Exit(analysis.Main(os.Args[2:], os.Stdout, os.Stderr))
 	case "list":
 		for _, e := range core.AllExhibits() {
 			fmt.Printf("%-7s %s\n", e.ID, e.Title)
@@ -71,7 +75,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   peachy list
   peachy repro [-out dir] [-quick] [-only id]
-  peachy verify`)
+  peachy verify
+  peachy vet [-rules r1,r2] [-q] [./... | dir ...]`)
 }
 
 func fatal(err error) {

@@ -1,0 +1,21 @@
+// Command peachyvet is the repo's SPMD/concurrency linter: go vet-style
+// checks that know the cluster substrate's collective-matching contract,
+// the par package's pool discipline, and the hazards of goroutine-per-rank
+// closures. Run it over the whole module:
+//
+//	go run ./cmd/peachyvet ./...
+//
+// It exits 0 when clean, 1 when any rule fires, and is wired into
+// ./scripts/check.sh as part of the tier-1 gate. Graders can point it at a
+// student submission directory the same way (or via `peachy vet`).
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -1,0 +1,169 @@
+// Package analysis is peachyvet: a static SPMD/concurrency checker for
+// this repository's parallel substrates, built on the stdlib go/ast,
+// go/parser and go/types packages (no external analysis framework).
+//
+// The stock `go vet` knows nothing about the cluster runtime's SPMD
+// contract — that every rank must execute the same collective sequence,
+// that point-to-point tags must pair up, and that closures handed to
+// World.Run execute once per rank concurrently. peachyvet encodes those
+// rules, the same hazards MPI correctness tools (MUST, Marmot) check for
+// real MPI programs:
+//
+//	collective — collective calls inside rank-divergent branches that are
+//	            not matched on the other arm (or that follow a
+//	            rank-guarded early return)
+//	sendrecv   — Send with a constant tag that no Recv in the package
+//	            could ever match
+//	capture    — writes to captured outer variables inside World.Run /
+//	            pool-worker closures that are not rank-guarded or
+//	            rank-indexed (shared-memory leaks across "ranks")
+//	lockcopy   — sync.Mutex / sync.WaitGroup (or structs containing them)
+//	            copied by value
+//	rawgo      — raw `go` statements in internal/ packages that bypass
+//	            the sanctioned substrates (internal/par pools,
+//	            cluster.World, locale.System)
+//
+// A finding can be suppressed by a trailing or preceding comment of the
+// form `//peachyvet:allow <rule>` (or `//peachyvet:allow all`).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by a rule.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// AllRules lists every rule name in reporting order.
+var AllRules = []string{"collective", "sendrecv", "capture", "lockcopy", "rawgo"}
+
+// Config selects which rules run and where rawgo is exempt.
+type Config struct {
+	// Rules is the set of enabled rule names; nil enables all.
+	Rules map[string]bool
+	// RawGoAllowed lists slash-separated path fragments of packages that
+	// are allowed to spawn raw goroutines (the parallelism substrates
+	// themselves). Matched against the unit's directory path.
+	RawGoAllowed []string
+}
+
+// DefaultConfig enables every rule and exempts the substrate packages —
+// the packages whose whole job is implementing parallelism primitives —
+// from the rawgo rule.
+func DefaultConfig() Config {
+	return Config{
+		RawGoAllowed: []string{
+			"internal/par",
+			"internal/cluster",
+			"internal/locale",
+		},
+	}
+}
+
+func (c Config) enabled(rule string) bool {
+	if c.Rules == nil {
+		return true
+	}
+	return c.Rules[rule]
+}
+
+// reporter accumulates findings and applies //peachyvet:allow suppressions.
+type reporter struct {
+	unit     *Unit
+	findings []Finding
+}
+
+func (r *reporter) report(rule string, pos token.Pos, format string, args ...any) {
+	p := r.unit.Fset.Position(pos)
+	if r.unit.allowed(rule, p) {
+		return
+	}
+	r.findings = append(r.findings, Finding{Pos: p, Rule: rule, Msg: fmt.Sprintf(format, args...)})
+}
+
+type checkFunc func(u *Unit, r *reporter)
+
+var checks = map[string]checkFunc{
+	"collective": checkCollective,
+	"sendrecv":   checkSendRecv,
+	"capture":    checkCapture,
+	"lockcopy":   checkLockCopy,
+	"rawgo":      checkRawGo,
+}
+
+// Analyze runs the enabled rules over one package unit.
+func Analyze(u *Unit, cfg Config) []Finding {
+	r := &reporter{unit: u}
+	u.cfg = cfg
+	for _, name := range AllRules {
+		if !cfg.enabled(name) {
+			continue
+		}
+		if name == "lockcopy" || name == "capture" {
+			u.ensureTypes() // these rules consult type info where available
+		}
+		checks[name](u, r)
+	}
+	sort.Slice(r.findings, func(i, j int) bool {
+		a, b := r.findings[i].Pos, r.findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return r.findings
+}
+
+// allowed reports whether a //peachyvet:allow comment covers (rule, pos):
+// on the same line or the line immediately above.
+func (u *Unit) allowed(rule string, p token.Position) bool {
+	lines := u.allowLines[p.Filename]
+	for _, l := range []int{p.Line, p.Line - 1} {
+		if rules, ok := lines[l]; ok {
+			if rules["all"] || rules[rule] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// indexAllows scans a file's comments for //peachyvet:allow directives.
+func (u *Unit) indexAllows(file *ast.File) {
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, "peachyvet:allow") {
+				continue
+			}
+			p := u.Fset.Position(c.Pos())
+			if u.allowLines[p.Filename] == nil {
+				u.allowLines[p.Filename] = map[int]map[string]bool{}
+			}
+			rules := map[string]bool{}
+			for _, r := range strings.Fields(strings.TrimPrefix(text, "peachyvet:allow")) {
+				rules[r] = true
+			}
+			if len(rules) == 0 {
+				rules["all"] = true
+			}
+			u.allowLines[p.Filename][p.Line] = rules
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixtureDir maps a rule to its fixture package. rawgo lives under an
+// internal/ segment on purpose: the rule only polices internal packages.
+func fixtureDir(rule string) string {
+	if rule == "rawgo" {
+		return filepath.Join("testdata", "src", "internal", "rawgo")
+	}
+	return filepath.Join("testdata", "src", rule)
+}
+
+// wantMarkers scans a fixture directory for `// WANT <rule>` line markers
+// and returns the expected finding sites as "file.go:line" keys.
+func wantMarkers(t *testing.T, dir, rule string) map[string]bool {
+	t.Helper()
+	want := map[string]bool{}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	marker := "// WANT " + rule
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for line := 1; sc.Scan(); line++ {
+			if strings.Contains(sc.Text(), marker) {
+				want[fmt.Sprintf("%s:%d", e.Name(), line)] = true
+			}
+		}
+		f.Close()
+	}
+	if len(want) == 0 {
+		t.Fatalf("no %q markers under %s — fixture broken", marker, dir)
+	}
+	return want
+}
+
+// TestRulesAgainstFixtures runs each rule alone over its fixture package:
+// enabled, findings must land exactly on the WANT-marked lines (bad.go);
+// disabled, the same fixture must produce nothing — so a silently
+// neutered rule fails its test.
+func TestRulesAgainstFixtures(t *testing.T) {
+	for _, rule := range AllRules {
+		t.Run(rule, func(t *testing.T) {
+			dir := fixtureDir(rule)
+			units, err := Load([]string{dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(units) != 1 {
+				t.Fatalf("expected 1 unit in %s, got %d", dir, len(units))
+			}
+
+			cfg := DefaultConfig()
+			cfg.Rules = map[string]bool{rule: true}
+			findings := Analyze(units[0], cfg)
+
+			want := wantMarkers(t, dir, rule)
+			got := map[string]bool{}
+			for _, f := range findings {
+				if f.Rule != rule {
+					t.Errorf("finding from disabled rule: %s", f)
+					continue
+				}
+				key := fmt.Sprintf("%s:%d", filepath.Base(f.Pos.Filename), f.Pos.Line)
+				got[key] = true
+				if !want[key] {
+					t.Errorf("unexpected finding: %s", f)
+				}
+			}
+			for key := range want {
+				if !got[key] {
+					t.Errorf("missing finding at %s", key)
+				}
+			}
+
+			cfg.Rules = map[string]bool{} // non-nil and empty: all rules off
+			if fs := Analyze(units[0], cfg); len(fs) != 0 {
+				t.Errorf("rule disabled but still reported %d finding(s): %v", len(fs), fs[0])
+			}
+		})
+	}
+}
+
+// TestRepositoryIsClean is the self-test: the real repo must come up
+// clean under every rule (fixtures are under testdata and skipped).
+func TestRepositoryIsClean(t *testing.T) {
+	units, err := Load([]string{"../../..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) < 10 {
+		t.Fatalf("only %d units loaded from the repo root — load is broken", len(units))
+	}
+	for _, u := range units {
+		for _, f := range Analyze(u, DefaultConfig()) {
+			t.Errorf("repo not clean: %s", f)
+		}
+	}
+}
+
+// TestSuppressionDirective checks //peachyvet:allow end to end: the
+// rawgo good fixture contains a justified raw go statement.
+func TestSuppressionDirective(t *testing.T) {
+	dir := fixtureDir("rawgo")
+	units, err := Load([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Rules = map[string]bool{"rawgo": true}
+	for _, f := range Analyze(units[0], cfg) {
+		if filepath.Base(f.Pos.Filename) == "good.go" {
+			t.Errorf("suppressed site still reported: %s", f)
+		}
+	}
+}
+
+// TestMainExitCodes drives the shared CLI entry point: 1 on each bad
+// fixture, 0 on a clean package, 2 on usage errors.
+func TestMainExitCodes(t *testing.T) {
+	badDirs := []string{
+		fixtureDir("collective"),
+		fixtureDir("sendrecv"),
+		fixtureDir("capture"),
+		fixtureDir("lockcopy"),
+		fixtureDir("rawgo"),
+	}
+	for _, dir := range badDirs {
+		var out, errb bytes.Buffer
+		if code := Main([]string{dir}, &out, &errb); code != 1 {
+			t.Errorf("Main(%s) = %d, want 1\nstdout: %s\nstderr: %s", dir, code, out.String(), errb.String())
+		}
+	}
+
+	var out, errb bytes.Buffer
+	if code := Main([]string{"-q", "."}, &out, &errb); code != 0 {
+		t.Errorf("Main(.) = %d, want 0\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+
+	if code := Main([]string{"-rules", "nosuchrule", "."}, &out, &errb); code != 2 {
+		t.Errorf("Main(-rules nosuchrule) = %d, want 2", code)
+	}
+}

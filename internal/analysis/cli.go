@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Main is the shared CLI entry point behind `peachyvet` and
+// `peachy vet`. It returns the process exit code: 0 when clean, 1 when
+// findings were reported, 2 on usage or load errors.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("peachyvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rules to run (default: all of "+strings.Join(AllRules, ",")+")")
+	quiet := fs.Bool("q", false, "suppress the summary line")
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: peachyvet [-rules r1,r2] [-q] ./... [dir ...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cfg := DefaultConfig()
+	if *rules != "" {
+		cfg.Rules = map[string]bool{}
+		for _, r := range strings.Split(*rules, ",") {
+			r = strings.TrimSpace(r)
+			if r == "" {
+				continue
+			}
+			known := false
+			for _, k := range AllRules {
+				if k == r {
+					known = true
+				}
+			}
+			if !known {
+				fmt.Fprintf(stderr, "peachyvet: unknown rule %q (have %s)\n", r, strings.Join(AllRules, ", "))
+				return 2
+			}
+			cfg.Rules[r] = true
+		}
+	}
+
+	units, err := Load(patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "peachyvet:", err)
+		return 2
+	}
+	total := 0
+	for _, u := range units {
+		for _, f := range Analyze(u, cfg) {
+			fmt.Fprintln(stdout, f.String())
+			total++
+		}
+	}
+	if !*quiet {
+		if total == 0 {
+			fmt.Fprintf(stdout, "peachyvet: %d package(s) clean\n", len(units))
+		} else {
+			fmt.Fprintf(stdout, "peachyvet: %d finding(s)\n", total)
+		}
+	}
+	if total > 0 {
+		return 1
+	}
+	return 0
+}

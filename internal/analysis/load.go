@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Unit is one parsed package (all files sharing a package name in one
+// directory). Test files form their own unit when they use the _test
+// package name; in-package _test.go files are analyzed with the package.
+type Unit struct {
+	Dir   string // directory holding the files
+	Rel   string // Dir relative to the load root, slash-separated
+	Name  string // package name
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	cfg        Config
+	allowLines map[string]map[int]map[string]bool // file -> line -> rules
+
+	typesOnce bool
+	info      *types.Info
+	typesPkg  *types.Package
+}
+
+// Load expands the given patterns into package units. A pattern ending in
+// "/..." walks the directory tree; anything else is a single directory.
+// Directories named testdata, vendor, out or starting with "." or "_" are
+// skipped, as the go tool does.
+func Load(patterns []string) ([]*Unit, error) {
+	var dirs []string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		root := strings.TrimSuffix(pat, "...")
+		root = strings.TrimSuffix(root, "/")
+		if root == "" {
+			root = "."
+		}
+		if !strings.HasSuffix(pat, "...") {
+			if !seen[root] {
+				seen[root] = true
+				dirs = append(dirs, root)
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(path)
+			if path != root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") ||
+				base == "testdata" || base == "vendor" || base == "out" || base == "node_modules") {
+				return filepath.SkipDir
+			}
+			if !seen[path] {
+				seen[path] = true
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	var units []*Unit
+	for _, dir := range dirs {
+		us, err := loadDir(fset, dir)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, us...)
+	}
+	return units, nil
+}
+
+// loadDir parses every .go file in dir and groups them by package name.
+func loadDir(fset *token.FileSet, dir string) ([]*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byPkg := map[string][]*ast.File{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		name := f.Name.Name
+		byPkg[name] = append(byPkg[name], f)
+	}
+	var names []string
+	for name := range byPkg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var units []*Unit
+	for _, name := range names {
+		u := &Unit{
+			Dir:        dir,
+			Rel:        filepath.ToSlash(filepath.Clean(dir)),
+			Name:       name,
+			Fset:       fset,
+			Files:      byPkg[name],
+			allowLines: map[string]map[int]map[string]bool{},
+		}
+		for _, f := range u.Files {
+			u.indexAllows(f)
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}

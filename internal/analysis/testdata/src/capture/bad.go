@@ -1,0 +1,56 @@
+package fixture
+
+// Every rank increments the same captured accumulator concurrently: a
+// data race, and the classic shared-memory leak in an SPMD body.
+func badSharedAccumulator(w *World) {
+	total := 0
+	w.Run(func(c *Comm) {
+		total += c.Rank() // WANT capture
+	})
+	_ = total
+}
+
+// All ranks write the same slice element.
+func badFixedSlot(w *World, results []int) {
+	w.Run(func(c *Comm) {
+		results[0] = c.Rank() // WANT capture
+	})
+}
+
+// Concurrent map writes fault even on distinct keys.
+func badMapWrite(w *World, counts map[string]int) {
+	w.Run(func(c *Comm) {
+		counts["x"] = 1 // WANT capture
+	})
+}
+
+// Pool workers race on a captured scalar.
+func badPoolWorker(p *Pool) {
+	sum := 0
+	p.For(10, func(i int) {
+		sum += i // WANT capture
+	})
+	_ = sum
+}
+
+// Two par.Do sections write the same captured variable.
+func badDoSections() {
+	x := 0
+	Do(
+		func() { x = 1 },
+		func() { x = 2 }, // WANT capture
+	)
+	_ = x
+}
+
+// A raw goroutine mutating captured state is the same hazard.
+func badGoCapture() {
+	count := 0
+	done := make(chan struct{})
+	go func() {
+		count++ // WANT capture
+		close(done)
+	}()
+	<-done
+	_ = count
+}

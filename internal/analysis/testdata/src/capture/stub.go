@@ -1,0 +1,23 @@
+// Package fixture holds self-contained peachyvet test inputs for the
+// capture rule: stubs that mirror the World.Run / par.Pool / par.Do
+// shapes the rule dispatches on.
+package fixture
+
+type Comm struct{}
+
+func (c *Comm) Rank() int { return 0 }
+func (c *Comm) Size() int { return 1 }
+
+type World struct{}
+
+func (w *World) Run(body func(c *Comm)) error { return nil }
+
+type Pool struct{}
+
+func (p *Pool) For(n int, body func(i int)) {}
+
+func Do(sections ...func()) {}
+
+type node struct {
+	left, right int
+}

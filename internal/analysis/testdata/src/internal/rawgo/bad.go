@@ -1,0 +1,21 @@
+// Package fixture holds peachyvet test inputs for the rawgo rule. The
+// directory path contains "internal/" on purpose: the rule only polices
+// internal packages.
+package fixture
+
+// A bare goroutine bypasses the sanctioned substrates: its worker count,
+// scheduling and shutdown are invisible to the pools.
+func badSpawn(work []int) {
+	done := make(chan struct{})
+	go func() { // WANT rawgo
+		for range work {
+		}
+		close(done)
+	}()
+	<-done
+}
+
+// Even a one-liner counts.
+func badSpawnCall(done chan struct{}) {
+	go close(done) // WANT rawgo
+}

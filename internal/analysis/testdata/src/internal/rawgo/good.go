@@ -1,0 +1,15 @@
+package fixture
+
+type pool struct{}
+
+func (p *pool) For(n int, body func(i int)) {}
+
+// Worksharing through a pool: no raw go statement in sight.
+func goodPool(p *pool, out []int) {
+	p.For(len(out), func(i int) { out[i] = i })
+}
+
+// A justified spawn carries an explicit suppression.
+func justifiedSpawn(done chan struct{}) {
+	go close(done) //peachyvet:allow rawgo
+}

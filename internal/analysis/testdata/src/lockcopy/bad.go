@@ -1,0 +1,41 @@
+// Package fixture holds self-contained peachyvet test inputs for the
+// lockcopy rule; it imports the real sync package so go/types can see
+// the primitive types.
+package fixture
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Value parameter: the callee locks a private copy, not the caller's lock.
+func lockByValueParam(g guarded) { // WANT lockcopy
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Value receiver: same defect, method form.
+func (g guarded) bump() { // WANT lockcopy
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// Plain assignment copies the WaitGroup counter.
+func waitGroupCopy() {
+	var wg sync.WaitGroup
+	wg2 := wg // WANT lockcopy
+	wg2.Wait()
+}
+
+// Ranging by value copies the mutex in every element.
+func rangeCopiesLock(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // WANT lockcopy
+		total += g.n
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+package fixture
+
+const tagOrphan = 99
+
+// No Recv anywhere in this package uses tag 99 (or a wildcard), so this
+// message can never be received: the sender's payload is lost and any
+// rank waiting on a reply hangs.
+func sendNeverReceived(c *Comm) {
+	Send(c, 1, tagOrphan, 42) // WANT sendrecv
+}
+
+// Same defect with an inline literal tag.
+func sendLiteralOrphan(c *Comm) {
+	Send(c, 0, 123, 7) // WANT sendrecv
+}

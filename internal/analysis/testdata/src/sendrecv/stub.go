@@ -1,0 +1,11 @@
+// Package fixture holds self-contained peachyvet test inputs for the
+// sendrecv rule. Matching is package-wide, so the orphaned tag in bad.go
+// must not appear in any Recv here.
+package fixture
+
+type Comm struct{}
+
+func (c *Comm) Rank() int { return 0 }
+
+func Send(c *Comm, dst, tag, v int)  {}
+func Recv(c *Comm, src, tag int) int { return 0 }

@@ -15,8 +15,10 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // AnySource matches a message from any rank in Recv.
@@ -25,13 +27,26 @@ const AnySource = -1
 // AnyTag matches a message with any tag in Recv.
 const AnyTag = -1
 
-// Options configures a World's cost model.
+// Options configures a World's cost model and debugging aids.
 type Options struct {
 	// Latency is the simulated per-message cost in seconds (alpha).
 	Latency float64
 	// ByteTime is the simulated per-byte cost in seconds (beta, the
 	// inverse bandwidth).
 	ByteTime float64
+	// Verify enables the collective-sequence verifier: every collective
+	// stamps its op and call site into the point-to-point messages it is
+	// built from, and every receive cross-checks the stamp. A mismatched
+	// collective (rank 2 in Allreduce while rank 5 is in Barrier) then
+	// panics with a diagnostic naming both ops, ranks and call sites
+	// instead of deadlocking or corrupting payloads. Verify also bounds
+	// every blocking receive by VerifyTimeout; on expiry the world is
+	// declared deadlocked and every rank's pending state is dumped.
+	Verify bool
+	// VerifyTimeout is the per-receive deadline used when Verify is on
+	// (0 means 5s). Set it well above the longest legitimate compute
+	// phase between communications.
+	VerifyTimeout time.Duration
 }
 
 // DefaultOptions models a commodity cluster interconnect: 1 microsecond
@@ -40,19 +55,37 @@ func DefaultOptions() Options {
 	return Options{Latency: 1e-6, ByteTime: 1e-10}
 }
 
+// VerifyOptions is DefaultOptions with the collective-sequence verifier
+// switched on — the mode to grade student SPMD code under.
+func VerifyOptions() Options {
+	o := DefaultOptions()
+	o.Verify = true
+	return o
+}
+
 type message struct {
 	src, tag int
 	payload  any
 	bytes    int
 	arrive   float64 // sender's simulated clock when the message is available
+	op, site string  // Verify mode: collective op + call site that produced this message
 }
 
-// mailbox holds pending messages for one rank.
+// mailbox holds pending messages for one rank. In Verify mode it also
+// mirrors the rank's communication state (what it is blocked on, which
+// collective it is inside) so the deadlock dump can read a consistent
+// snapshot from another goroutine.
 type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending []message
 	closed  bool
+
+	waitActive bool // a take is currently blocked
+	waitSrc    int  // the (src, tag) that take is blocked on
+	waitTag    int
+	opInfo     string // current collective "Op @ site" ("" between collectives)
+	collSeq    int    // collective sequence number at the last beginColl
 }
 
 func newMailbox() *mailbox {
@@ -69,22 +102,68 @@ func (m *mailbox) put(msg message) {
 }
 
 // take blocks until a message matching (src, tag) is pending and removes
-// it, preserving FIFO order per (src, tag) pair.
-func (m *mailbox) take(src, tag int) (message, error) {
+// it, preserving FIFO order per (src, tag) pair. c is the receiving
+// rank's endpoint; in Verify mode the wait is bounded by the world's
+// VerifyTimeout, after which a deadlock dump of every rank is returned
+// as the error.
+func (m *mailbox) take(src, tag int, c *Comm) (message, error) {
+	timeout := c.world.verifyTimeout()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.waitActive, m.waitSrc, m.waitTag = true, src, tag
+	defer func() { m.waitActive = false }()
+
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		timer := time.AfterFunc(timeout, func() {
+			m.mu.Lock()
+			m.cond.Broadcast()
+			m.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	for {
 		for i, msg := range m.pending {
-			if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+			if (src == AnySource || msg.src == src) && tagMatches(tag, msg.tag) {
 				m.pending = append(m.pending[:i], m.pending[i+1:]...)
 				return msg, nil
 			}
 		}
 		if m.closed {
-			return message{}, fmt.Errorf("cluster: world aborted while waiting for src=%d tag=%d", src, tag)
+			return message{}, fmt.Errorf("%w while waiting for src=%d tag=%d", errWorldAborted, src, tag)
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			// Drop our own lock before walking every rank's mailbox so two
+			// concurrent dumpers can never hold-and-wait on each other.
+			m.mu.Unlock()
+			dump := c.world.deadlockDump(c.rank, src, tag, timeout)
+			m.mu.Lock()
+			return message{}, errors.New(dump)
 		}
 		m.cond.Wait()
 	}
+}
+
+// errWorldAborted marks the cascade failure a rank sees when some other
+// rank's panic closed the world under it. Run reports the root-cause
+// panic in preference to these.
+var errWorldAborted = errors.New("cluster: world aborted")
+
+// abortPanic wraps a cascade failure so Run's recover can tell it apart
+// from a root-cause panic.
+type abortPanic struct{ msg string }
+
+// tagMatches applies receive matching: AnyTag is a wildcard over user
+// tags only — it never matches the reserved negative tag spaces that
+// collectives and sub-communicators use, so a wildcard point-to-point
+// receive can never steal in-flight collective traffic from a rank that
+// ran ahead.
+func tagMatches(want, got int) bool {
+	if want == AnyTag {
+		return got >= 0
+	}
+	return want == got
 }
 
 func (m *mailbox) close() {
@@ -127,17 +206,26 @@ func (w *World) Size() int { return w.size }
 
 // Run executes f once per rank, concurrently, and blocks until every rank
 // returns. A panic in any rank aborts the world (unblocking ranks stuck in
-// Recv) and is reported as an error.
+// Recv) and is reported as an error. Root-cause panics win over the
+// "world aborted" cascade errors other ranks see as a consequence, so the
+// diagnostic from, e.g., a Verify-mode collective mismatch is never
+// masked by a bystander rank failing first in rank order.
 func (w *World) Run(f func(c *Comm)) error {
 	var wg sync.WaitGroup
 	wg.Add(w.size)
 	errs := make([]error, w.size)
+	cascade := make([]bool, w.size)
 	for r := 0; r < w.size; r++ {
 		go func(c *Comm) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					errs[c.rank] = fmt.Errorf("cluster: rank %d panicked: %v", c.rank, p)
+					if ap, ok := p.(abortPanic); ok {
+						errs[c.rank] = fmt.Errorf("cluster: rank %d panicked: %v", c.rank, ap.msg)
+						cascade[c.rank] = true
+					} else {
+						errs[c.rank] = fmt.Errorf("cluster: rank %d panicked: %v", c.rank, p)
+					}
 					for _, b := range w.boxes {
 						b.close()
 					}
@@ -147,12 +235,19 @@ func (w *World) Run(f func(c *Comm)) error {
 		}(w.comms[r])
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+	var fallback error
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !cascade[r] {
 			return err
 		}
+		if fallback == nil {
+			fallback = err
+		}
 	}
-	return nil
+	return fallback
 }
 
 // SimTime returns the maximum simulated clock over all ranks: the modeled
@@ -206,6 +301,14 @@ type Comm struct {
 
 	collSeq int // collective matching sequence; see collTag
 	subGen  int // sub-communicator generation counter; see Split
+
+	// Verify mode: the collective this rank is currently inside ("" while
+	// in user code or point-to-point calls). Owner-goroutine only; the
+	// mailbox mirrors it for cross-goroutine dump readers. collDepth
+	// tracks nesting (e.g. Split's internal Allgather) so the outermost
+	// op name wins.
+	curOp, curSite string
+	collDepth      int
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -229,15 +332,26 @@ func (c *Comm) sendRaw(dst, tag int, payload any, bytes int) {
 	c.clock += c.world.opts.Latency + c.world.opts.ByteTime*float64(bytes)
 	c.msgs++
 	c.bytes += int64(bytes)
-	c.world.boxes[dst].put(message{src: c.rank, tag: tag, payload: payload, bytes: bytes, arrive: c.clock})
+	c.world.boxes[dst].put(message{
+		src: c.rank, tag: tag, payload: payload, bytes: bytes, arrive: c.clock,
+		op: c.curOp, site: c.curSite,
+	})
 }
 
 // recvRaw blocks for a matching message and advances the receiver's clock
-// to at least the message's availability time.
+// to at least the message's availability time. In Verify mode it
+// cross-checks the collective stamp on the message against the collective
+// this rank is inside.
 func (c *Comm) recvRaw(src, tag int) message {
-	msg, err := c.world.boxes[c.rank].take(src, tag)
+	msg, err := c.world.boxes[c.rank].take(src, tag, c)
 	if err != nil {
+		if errors.Is(err, errWorldAborted) {
+			panic(abortPanic{err.Error()})
+		}
 		panic(err.Error())
+	}
+	if c.world.opts.Verify {
+		c.checkCollStamp(msg)
 	}
 	if msg.arrive > c.clock {
 		c.clock = msg.arrive

@@ -338,7 +338,7 @@ func TestSimClockMessageOrdering(t *testing.T) {
 		if c.Rank() == 0 {
 			c.AdvanceClock(10)
 			Send(c, 1, 1, 0)
-		} else {
+		} else if c.Rank() == 1 {
 			Recv[int](c, 0, 1)
 			recvClock = c.Clock()
 		}

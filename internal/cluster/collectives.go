@@ -18,6 +18,8 @@ func (c *Comm) nextCollTag() int {
 // binomial gather followed by a binomial broadcast of empty messages, so
 // its simulated cost is ~2*alpha*log2(P).
 func (c *Comm) Barrier() {
+	c.beginColl("Barrier")
+	defer c.endColl()
 	tag := c.nextCollTag()
 	reduceTree(c, 0, tag, struct{}{}, func(a, _ struct{}) struct{} { return a })
 	bcastTree(c, 0, tag, struct{}{})
@@ -26,6 +28,8 @@ func (c *Comm) Barrier() {
 // Bcast distributes root's value to every rank along a binomial tree and
 // returns it. Non-root ranks pass their (ignored) local v.
 func Bcast[T any](c *Comm, root int, v T) T {
+	c.beginColl("Bcast")
+	defer c.endColl()
 	return bcastTree(c, root, c.nextCollTag(), v)
 }
 
@@ -34,12 +38,16 @@ func Bcast[T any](c *Comm, root int, v T) T {
 // (which callers should ignore). op must be associative and commutative;
 // it may mutate and return its first argument.
 func Reduce[T any](c *Comm, root int, v T, op func(a, b T) T) T {
+	c.beginColl("Reduce")
+	defer c.endColl()
 	return reduceTree(c, root, c.nextCollTag(), v, op)
 }
 
 // Allreduce is Reduce to rank 0 followed by Bcast: every rank receives the
 // fully reduced value.
 func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
+	c.beginColl("Allreduce")
+	defer c.endColl()
 	tag := c.nextCollTag()
 	r := reduceTree(c, 0, tag, v, op)
 	return bcastTree(c, 0, tag, r)
@@ -48,6 +56,8 @@ func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
 // Gather collects one value from every rank. On root it returns a slice
 // indexed by rank; on other ranks it returns nil.
 func Gather[T any](c *Comm, root int, v T) []T {
+	c.beginColl("Gather")
+	defer c.endColl()
 	tag := c.nextCollTag()
 	if c.rank != root {
 		c.sendRaw(root, tag, v, byteSize(v))
@@ -68,6 +78,8 @@ func Gather[T any](c *Comm, root int, v T) []T {
 // Allgather collects one value from every rank and returns the full
 // rank-indexed slice on every rank (Gather to 0 + Bcast).
 func Allgather[T any](c *Comm, v T) []T {
+	c.beginColl("Allgather")
+	defer c.endColl()
 	tag := c.nextCollTag()
 	var all []T
 	if c.rank != 0 {
@@ -86,6 +98,8 @@ func Allgather[T any](c *Comm, v T) []T {
 // Scatter distributes parts[r] from root to rank r and returns this rank's
 // part. Only root's parts argument is consulted; it must have length Size.
 func Scatter[T any](c *Comm, root int, parts []T) T {
+	c.beginColl("Scatter")
+	defer c.endColl()
 	tag := c.nextCollTag()
 	if c.rank == root {
 		if len(parts) != c.Size() {
@@ -110,6 +124,8 @@ func Alltoall[T any](c *Comm, parts []T) []T {
 	if len(parts) != c.Size() {
 		panic(fmt.Sprintf("cluster: Alltoall needs %d parts, got %d", c.Size(), len(parts)))
 	}
+	c.beginColl("Alltoall")
+	defer c.endColl()
 	tag := c.nextCollTag()
 	out := make([]T, c.Size())
 	out[c.rank] = parts[c.rank]
@@ -129,6 +145,8 @@ func Alltoall[T any](c *Comm, parts []T) []T {
 // Scan computes the inclusive prefix reduction: rank r receives
 // op(v_0, ..., v_r). The chain is linear, as in a textbook MPI_Scan.
 func Scan[T any](c *Comm, v T, op func(a, b T) T) T {
+	c.beginColl("Scan")
+	defer c.endColl()
 	tag := c.nextCollTag()
 	acc := v
 	if c.rank > 0 {

@@ -7,7 +7,7 @@ func (c *Comm) Probe(src, tag int) bool {
 	box.mu.Lock()
 	defer box.mu.Unlock()
 	for _, msg := range box.pending {
-		if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+		if (src == AnySource || msg.src == src) && tagMatches(tag, msg.tag) {
 			return true
 		}
 	}
@@ -21,7 +21,7 @@ func TryRecv[T any](c *Comm, src, tag int) (v T, ok bool) {
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
 	for i, msg := range box.pending {
-		if (src == AnySource || msg.src == src) && (tag == AnyTag || msg.tag == tag) {
+		if (src == AnySource || msg.src == src) && tagMatches(tag, msg.tag) {
 			box.pending = append(box.pending[:i], box.pending[i+1:]...)
 			box.mu.Unlock()
 			if msg.arrive > c.clock {

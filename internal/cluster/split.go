@@ -17,9 +17,11 @@ import (
 // reductions before a global one (the hierarchy §2 alludes to with "local
 // reductions ... again at each multicore node").
 func (c *Comm) Split(color, key int) *SubComm {
+	c.beginColl("Split")
 	type entry struct{ Color, Key, Rank int }
 	mine := entry{color, key, c.rank}
 	all := Allgather(c, mine)
+	c.endColl()
 
 	if color < 0 {
 		return nil
@@ -103,6 +105,8 @@ func RecvSub[T any](s *SubComm, src, tag int) T {
 
 // BarrierSub blocks until every group member has entered.
 func (s *SubComm) BarrierSub() {
+	s.parent.beginColl("BarrierSub")
+	defer s.parent.endColl()
 	tag := s.nextCollTag()
 	subReduceTree(s, 0, tag, struct{}{}, func(a, _ struct{}) struct{} { return a })
 	subBcastTree(s, 0, tag, struct{}{})
@@ -110,16 +114,22 @@ func (s *SubComm) BarrierSub() {
 
 // BcastSub broadcasts root's value within the group.
 func BcastSub[T any](s *SubComm, root int, v T) T {
+	s.parent.beginColl("BcastSub")
+	defer s.parent.endColl()
 	return subBcastTree(s, root, s.nextCollTag(), v)
 }
 
 // ReduceSub folds the group's contributions onto the group root.
 func ReduceSub[T any](s *SubComm, root int, v T, op func(a, b T) T) T {
+	s.parent.beginColl("ReduceSub")
+	defer s.parent.endColl()
 	return subReduceTree(s, root, s.nextCollTag(), v, op)
 }
 
 // AllreduceSub gives every group member the fully reduced value.
 func AllreduceSub[T any](s *SubComm, v T, op func(a, b T) T) T {
+	s.parent.beginColl("AllreduceSub")
+	defer s.parent.endColl()
 	tag := s.nextCollTag()
 	r := subReduceTree(s, 0, tag, v, op)
 	return subBcastTree(s, 0, tag, r)
@@ -127,6 +137,8 @@ func AllreduceSub[T any](s *SubComm, v T, op func(a, b T) T) T {
 
 // GatherSub collects one value per group member onto the group root.
 func GatherSub[T any](s *SubComm, root int, v T) []T {
+	s.parent.beginColl("GatherSub")
+	defer s.parent.endColl()
 	tag := s.nextCollTag()
 	if s.rank != root {
 		Send(s.parent, s.ranks[root], tag, v)

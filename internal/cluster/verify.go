@@ -1,0 +1,157 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// This file implements the Verify-mode runtime verifier: the dynamic
+// counterpart to peachyvet's static `collective` rule. MPI correctness
+// tools (MUST, Marmot) do the same for real MPI programs — a mismatched
+// collective is turned from a silent deadlock or payload corruption into
+// an immediate, named diagnostic.
+//
+// Mechanism: every collective brackets its communication with
+// beginColl/endColl, which record the op name and the user call site on
+// the rank. sendRaw stamps both into each point-to-point message the
+// collective is built from; recvRaw cross-checks the stamp against the
+// receiving rank's current op. Because collective tags are consumed from
+// a per-rank sequence, two ranks that disagree about the collective
+// sequence produce tree messages with the *same* tag but *different*
+// stamps — exactly the case the check catches. Disagreements that never
+// exchange a message (both sides blocked receiving) are caught by the
+// VerifyTimeout deadlock dump instead.
+
+// verifyTimeout returns the bounded-receive deadline (0 = unbounded).
+func (w *World) verifyTimeout() time.Duration {
+	if !w.opts.Verify {
+		return 0
+	}
+	if w.opts.VerifyTimeout > 0 {
+		return w.opts.VerifyTimeout
+	}
+	return 5 * time.Second
+}
+
+// beginColl marks this rank as inside the named collective and mirrors
+// the fact into the rank's mailbox for the deadlock dump.
+func (c *Comm) beginColl(op string) {
+	if !c.world.opts.Verify {
+		return
+	}
+	c.collDepth++
+	if c.collDepth > 1 {
+		return // nested (e.g. Split's Allgather): outermost op wins
+	}
+	c.curOp, c.curSite = op, callerSite()
+	b := c.world.boxes[c.rank]
+	b.mu.Lock()
+	b.opInfo = op + " @ " + c.curSite
+	b.collSeq = c.collSeq
+	b.mu.Unlock()
+}
+
+// endColl marks the rank as back in user code.
+func (c *Comm) endColl() {
+	if !c.world.opts.Verify {
+		return
+	}
+	c.collDepth--
+	if c.collDepth > 0 {
+		return
+	}
+	c.curOp, c.curSite = "", ""
+	b := c.world.boxes[c.rank]
+	b.mu.Lock()
+	b.opInfo = ""
+	b.mu.Unlock()
+}
+
+// checkCollStamp panics when the collective stamp on a received message
+// disagrees with the collective this rank is inside.
+func (c *Comm) checkCollStamp(msg message) {
+	if msg.op == c.curOp {
+		return
+	}
+	switch {
+	case c.curOp == "":
+		panic(fmt.Sprintf(
+			"cluster: collective mismatch: rank %d was in a point-to-point receive but matched %s traffic sent by rank %d at %s — rank %d skipped (or has not yet reached) that collective",
+			c.rank, msg.op, msg.src, msg.site, c.rank))
+	case msg.op == "":
+		panic(fmt.Sprintf(
+			"cluster: collective mismatch: rank %d entered %s at %s but received point-to-point traffic from rank %d (tag %d) — rank %d is not in the collective",
+			c.rank, c.curOp, c.curSite, msg.src, msg.tag, msg.src))
+	default:
+		panic(fmt.Sprintf(
+			"cluster: collective mismatch: rank %d entered %s at %s, but rank %d entered %s at %s — every rank must call the same collective sequence",
+			c.rank, c.curOp, c.curSite, msg.src, msg.op, msg.site))
+	}
+}
+
+// runtimeFiles are this package's non-test sources; callerSite skips
+// their frames so diagnostics point at user code.
+var runtimeFiles = map[string]bool{
+	"cluster.go": true, "collectives.go": true, "split.go": true,
+	"probe.go": true, "verify.go": true,
+}
+
+func callerSite() string {
+	pc := make([]uintptr, 16)
+	n := runtime.Callers(2, pc)
+	frames := runtime.CallersFrames(pc[:n])
+	for {
+		f, more := frames.Next()
+		base := filepath.Base(f.File)
+		if !runtimeFiles[base] && f.File != "" {
+			return fmt.Sprintf("%s:%d", base, f.Line)
+		}
+		if !more {
+			return "unknown"
+		}
+	}
+}
+
+// deadlockDump renders every rank's communication state. It is called by
+// a rank whose bounded receive expired, with no mailbox locks held.
+func (w *World) deadlockDump(rank, src, tag int, waited time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: suspected deadlock: rank %d waited %v for src=%d tag=%d; world state:\n",
+		rank, waited, src, tag)
+	for r, box := range w.boxes {
+		box.mu.Lock()
+		state := "running"
+		if box.waitActive {
+			state = fmt.Sprintf("blocked on src=%d tag=%d", box.waitSrc, box.waitTag)
+		}
+		op := box.opInfo
+		if op == "" {
+			op = "no collective (user code or point-to-point)"
+		} else {
+			op = fmt.Sprintf("%s (collective #%d)", op, box.collSeq)
+		}
+		var pend []string
+		for i, m := range box.pending {
+			if i == 3 {
+				pend = append(pend, fmt.Sprintf("+%d more", len(box.pending)-3))
+				break
+			}
+			desc := fmt.Sprintf("src=%d tag=%d", m.src, m.tag)
+			if m.op != "" {
+				desc += " op=" + m.op
+			}
+			pend = append(pend, desc)
+		}
+		box.mu.Unlock()
+		fmt.Fprintf(&b, "  rank %d: %s; in %s; %d pending message(s)", r, state, op, len(pend))
+		if len(pend) > 0 {
+			fmt.Fprintf(&b, " [%s]", strings.Join(pend, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("  hint: a deadlock here usually means mismatched Send/Recv tags or a rank-divergent collective; run `go run ./cmd/peachyvet ./...` on the code")
+	return b.String()
+}

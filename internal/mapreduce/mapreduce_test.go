@@ -167,7 +167,9 @@ func TestSingleRankJob(t *testing.T) {
 	job := WordCountJob()
 	var res map[string]int
 	err := w.Run(func(c *cluster.Comm) {
-		res = job.Run(c, []string{"a b a"})
+		if c.Rank() == 0 {
+			res = job.Run(c, []string{"a b a"})
+		}
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -53,10 +53,10 @@ func TestForRangeWorkerIDsInRange(t *testing.T) {
 }
 
 func TestForZeroAndNegativeN(t *testing.T) {
-	called := false
-	For(0, 4, func(int) { called = true })
-	ForRange(-5, 4, Static, 0, func(_, _, _ int) { called = true })
-	if called {
+	var called int32
+	For(0, 4, func(int) { atomic.StoreInt32(&called, 1) })
+	ForRange(-5, 4, Static, 0, func(_, _, _ int) { atomic.StoreInt32(&called, 1) })
+	if atomic.LoadInt32(&called) != 0 {
 		t.Error("body called for empty range")
 	}
 }

@@ -33,9 +33,9 @@ func TestPoolWorkerIDs(t *testing.T) {
 func TestPoolEmptyLoop(t *testing.T) {
 	p := NewPool(2)
 	defer p.Close()
-	called := false
-	p.For(0, func(int) { called = true })
-	if called {
+	var called int32
+	p.For(0, func(int) { atomic.StoreInt32(&called, 1) })
+	if atomic.LoadInt32(&called) != 0 {
 		t.Error("body ran for empty loop")
 	}
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a change must pass before it lands.
+#   build, stock vet, the full test suite under the race detector,
+#   and peachyvet (the repo's own SPMD correctness analyzer).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== peachyvet ./..."
+go run ./cmd/peachyvet ./...
+
+echo "check.sh: all gates passed"
