@@ -76,7 +76,7 @@ func usage() {
   peachy list
   peachy repro [-out dir] [-quick] [-only id]
   peachy verify
-  peachy vet [-rules r1,r2] [-q] [./... | dir ...]`)
+  peachy vet [-rules r1,r2] [-q] [-json|-sarif] [./... | dir ...]`)
 }
 
 func fatal(err error) {

@@ -1,13 +1,21 @@
 // Command peachyvet is the repo's SPMD/concurrency linter: go vet-style
 // checks that know the cluster substrate's collective-matching contract,
 // the par package's pool discipline, and the hazards of goroutine-per-rank
-// closures. Run it over the whole module:
+// closures. Beyond the per-function rules it builds per-function
+// communication summaries and a call graph, so protocol bugs hidden
+// behind helper boundaries (mismatched collectives, orphaned tags,
+// static Recv wait-cycles) are caught interprocedurally. Run it over the
+// whole module:
 //
 //	go run ./cmd/peachyvet ./...
+//	go run ./cmd/peachyvet -json ./...   # machine-readable findings
+//	go run ./cmd/peachyvet -sarif ./...  # SARIF 2.1.0 for CI annotation
 //
-// It exits 0 when clean, 1 when any rule fires, and is wired into
-// ./scripts/check.sh as part of the tier-1 gate. Graders can point it at a
-// student submission directory the same way (or via `peachy vet`).
+// Exit codes: 0 when clean, 1 when any rule fires, 2 on usage errors or
+// when input fails to load (a file that does not parse is reported as a
+// finding with rule "load"). The tool is wired into ./scripts/check.sh
+// as part of the tier-1 gate. Graders can point it at a student
+// submission directory the same way (or via `peachy vet`).
 package main
 
 import (

@@ -46,8 +46,11 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
 }
 
-// AllRules lists every rule name in reporting order.
-var AllRules = []string{"collective", "sendrecv", "capture", "lockcopy", "rawgo"}
+// AllRules lists every rule name in reporting order. The protocol and
+// deadlock rules are interprocedural: they analyze per-function
+// communication summaries propagated over the unit's call graph (see
+// summary.go) rather than single function bodies.
+var AllRules = []string{"collective", "sendrecv", "protocol", "deadlock", "capture", "lockcopy", "rawgo"}
 
 // Config selects which rules run and where rawgo is exempt.
 type Config struct {
@@ -98,15 +101,21 @@ type checkFunc func(u *Unit, r *reporter)
 var checks = map[string]checkFunc{
 	"collective": checkCollective,
 	"sendrecv":   checkSendRecv,
+	"protocol":   checkProtocol,
+	"deadlock":   checkDeadlock,
 	"capture":    checkCapture,
 	"lockcopy":   checkLockCopy,
 	"rawgo":      checkRawGo,
 }
 
-// Analyze runs the enabled rules over one package unit.
+// Analyze runs the enabled rules over one package unit. Load errors
+// recorded on the unit (files that failed to parse) are surfaced first,
+// as findings with the reserved rule name "load" — they are always on,
+// so a broken file fails the gate instead of silently shrinking it.
 func Analyze(u *Unit, cfg Config) []Finding {
 	r := &reporter{unit: u}
 	u.cfg = cfg
+	r.findings = append(r.findings, u.LoadErrs...)
 	for _, name := range AllRules {
 		if !cfg.enabled(name) {
 			continue

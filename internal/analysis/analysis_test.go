@@ -138,6 +138,8 @@ func TestMainExitCodes(t *testing.T) {
 	badDirs := []string{
 		fixtureDir("collective"),
 		fixtureDir("sendrecv"),
+		fixtureDir("protocol"),
+		fixtureDir("deadlock"),
 		fixtureDir("capture"),
 		fixtureDir("lockcopy"),
 		fixtureDir("rawgo"),

@@ -8,18 +8,34 @@ import (
 )
 
 // Main is the shared CLI entry point behind `peachyvet` and
-// `peachy vet`. It returns the process exit code: 0 when clean, 1 when
-// findings were reported, 2 on usage or load errors.
+// `peachy vet`. It returns the process exit code:
+//
+//	0 — every analyzed package is clean
+//	1 — at least one rule finding was reported
+//	2 — usage error, or the analysis could not load its input (an
+//	    unreadable directory, or a file that fails to parse — parse
+//	    failures are reported as findings with the reserved rule "load"
+//	    and still take precedence over exit 1)
+//
+// Output modes: the default is one human-readable line per finding;
+// -json emits a JSON array of findings with stable ids; -sarif emits a
+// SARIF 2.1.0 log. The modes are mutually exclusive and both imply -q.
 func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("peachyvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	rules := fs.String("rules", "", "comma-separated rules to run (default: all of "+strings.Join(AllRules, ",")+")")
 	quiet := fs.Bool("q", false, "suppress the summary line")
+	jsonOut := fs.Bool("json", false, "write findings as JSON to stdout")
+	sarifOut := fs.Bool("sarif", false, "write findings as SARIF 2.1.0 to stdout")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: peachyvet [-rules r1,r2] [-q] ./... [dir ...]")
+		fmt.Fprintln(stderr, "usage: peachyvet [-rules r1,r2] [-q] [-json|-sarif] ./... [dir ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(stderr, "peachyvet: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	patterns := fs.Args()
@@ -54,21 +70,44 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "peachyvet:", err)
 		return 2
 	}
-	total := 0
+	var findings []Finding
 	for _, u := range units {
-		for _, f := range Analyze(u, cfg) {
+		findings = append(findings, Analyze(u, cfg)...)
+	}
+	loadErrs := 0
+	for _, f := range findings {
+		if f.Rule == "load" {
+			loadErrs++
+		}
+	}
+
+	switch {
+	case *jsonOut:
+		if err := WriteJSON(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "peachyvet:", err)
+			return 2
+		}
+	case *sarifOut:
+		if err := WriteSARIF(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "peachyvet:", err)
+			return 2
+		}
+	default:
+		for _, f := range findings {
 			fmt.Fprintln(stdout, f.String())
-			total++
+		}
+		if !*quiet {
+			if len(findings) == 0 {
+				fmt.Fprintf(stdout, "peachyvet: %d package(s) clean\n", len(units))
+			} else {
+				fmt.Fprintf(stdout, "peachyvet: %d finding(s)\n", len(findings))
+			}
 		}
 	}
-	if !*quiet {
-		if total == 0 {
-			fmt.Fprintf(stdout, "peachyvet: %d package(s) clean\n", len(units))
-		} else {
-			fmt.Fprintf(stdout, "peachyvet: %d finding(s)\n", total)
-		}
-	}
-	if total > 0 {
+	switch {
+	case loadErrs > 0:
+		return 2
+	case len(findings) > 0:
 		return 1
 	}
 	return 0

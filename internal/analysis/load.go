@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -21,8 +22,16 @@ type Unit struct {
 	Fset  *token.FileSet
 	Files []*ast.File
 
+	// LoadErrs records files of this package that failed to parse, as
+	// findings with the reserved rule "load". The package is still
+	// analyzed with whatever parsed — a broken file must surface as a
+	// diagnostic, not silently shrink the analysis.
+	LoadErrs []Finding
+
 	cfg        Config
 	allowLines map[string]map[int]map[string]bool // file -> line -> rules
+
+	sums *summarizer // interprocedural summaries, built on demand
 
 	typesOnce bool
 	info      *types.Info
@@ -86,12 +95,17 @@ func Load(patterns []string) ([]*Unit, error) {
 }
 
 // loadDir parses every .go file in dir and groups them by package name.
+// A file that fails to parse no longer aborts the load: its first error
+// becomes a load-error finding on the directory's unit (a synthetic unit
+// when nothing in the directory parses), the parsed remainder is analyzed
+// normally, and the CLI maps the finding to exit code 2.
 func loadDir(fset *token.FileSet, dir string) ([]*Unit, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	byPkg := map[string][]*ast.File{}
+	var loadErrs []Finding
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
@@ -99,7 +113,8 @@ func loadDir(fset *token.FileSet, dir string) ([]*Unit, error) {
 		path := filepath.Join(dir, e.Name())
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			loadErrs = append(loadErrs, loadErrFinding(path, err))
+			continue
 		}
 		name := f.Name.Name
 		byPkg[name] = append(byPkg[name], f)
@@ -124,5 +139,28 @@ func loadDir(fset *token.FileSet, dir string) ([]*Unit, error) {
 		}
 		units = append(units, u)
 	}
+	if len(loadErrs) > 0 {
+		if len(units) == 0 {
+			units = append(units, &Unit{
+				Dir:        dir,
+				Rel:        filepath.ToSlash(filepath.Clean(dir)),
+				Name:       "(unparsed)",
+				Fset:       fset,
+				allowLines: map[string]map[int]map[string]bool{},
+			})
+		}
+		units[0].LoadErrs = append(units[0].LoadErrs, loadErrs...)
+	}
 	return units, nil
+}
+
+// loadErrFinding turns a parse error into a finding at the error's
+// position (scanner errors carry one; anything else lands on line 1).
+func loadErrFinding(path string, err error) Finding {
+	pos := token.Position{Filename: path, Line: 1, Column: 1}
+	if list, ok := err.(scanner.ErrorList); ok && len(list) > 0 {
+		pos = list[0].Pos
+		return Finding{Pos: pos, Rule: "load", Msg: "file does not parse: " + list[0].Msg}
+	}
+	return Finding{Pos: pos, Rule: "load", Msg: "file does not parse: " + err.Error()}
 }

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"path/filepath"
+)
+
+// FindingID returns a stable identifier for a finding, derived from its
+// rule, location and message. The same finding gets the same ID across
+// runs, so downstream tools (CI annotation, baselining) can track
+// findings without diffing free-form text.
+func FindingID(f Finding) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%d|%d|%s", f.Rule, filepath.ToSlash(f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Msg)
+	return fmt.Sprintf("PV-%016x", h.Sum64())
+}
+
+// ruleDescriptions gives each rule a one-line description for machine
+// output. The reserved "load" rule covers files that failed to parse.
+var ruleDescriptions = map[string]string{
+	"collective": "collective call not matched across rank-divergent branches",
+	"sendrecv":   "Send with a constant tag no Recv in the package matches",
+	"protocol":   "interprocedural SPMD protocol violation (collective order, orphan tags, rank-dependent trip counts)",
+	"deadlock":   "static Recv wait-cycle or uniform receive-before-send hang",
+	"capture":    "unguarded write to a captured variable in a rank closure",
+	"lockcopy":   "sync.Mutex or sync.WaitGroup copied by value",
+	"rawgo":      "raw go statement bypassing the sanctioned substrates",
+	"load":       "file failed to parse and was excluded from analysis",
+}
+
+type jsonFinding struct {
+	ID      string `json:"id"`
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// WriteJSON emits findings as a JSON array (never null: a clean run is
+// `[]`), one object per finding with a stable id.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			ID:      FindingID(f),
+			Rule:    f.Rule,
+			File:    filepath.ToSlash(f.Pos.Filename),
+			Line:    f.Pos.Line,
+			Column:  f.Pos.Column,
+			Message: f.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Minimal SARIF 2.1.0 object model — only the properties peachyvet
+// emits, shaped to validate against the official schema.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF emits findings as a SARIF 2.1.0 log with one run. Load
+// errors are level "error"; rule findings are level "warning". The
+// driver's rule table lists every known rule so viewers can show
+// descriptions even for rules with no results.
+func WriteSARIF(w io.Writer, findings []Finding) error {
+	driver := sarifDriver{Name: "peachyvet"}
+	for _, name := range append(append([]string{}, AllRules...), "load") {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               name,
+			ShortDescription: sarifMessage{Text: ruleDescriptions[name]},
+		})
+	}
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		level := "warning"
+		if f.Rule == "load" {
+			level = "error"
+		}
+		col := f.Pos.Column
+		if col < 1 {
+			col = 1
+		}
+		line := f.Pos.Line
+		if line < 1 {
+			line = 1
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Rule,
+			Level:   level,
+			Message: sarifMessage{Text: f.Msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: filepath.ToSlash(f.Pos.Filename)},
+					Region:           sarifRegion{StartLine: line, StartColumn: col},
+				},
+			}},
+			PartialFingerprints: map[string]string{"peachyvetId": FindingID(f)},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// checkProtocol runs the interprocedural protocol checks over the unit's
+// communication summaries:
+//
+//  1. cross-function collective-order mismatch: a rank-divergent branch
+//     whose arms execute different collective sequences once calls are
+//     expanded — the interprocedural completion of the `collective` rule,
+//     reported only when the mismatch is invisible intraprocedurally (the
+//     collective rule owns the rest);
+//  2. orphaned tags after interprocedural constant propagation: a Send
+//     whose tag becomes constant only through a call binding and that no
+//     Recv can match, and — the new direction — a blocking Recv with a
+//     constant tag no reachable Send produces;
+//  3. collectives inside loops whose trip count depends on the rank:
+//     ranks execute different numbers of the collective, which mismatches
+//     the SPMD sequence even though no single call site diverges.
+func checkProtocol(u *Unit, r *reporter) {
+	s := u.summaries()
+	seenBranch := map[token.Pos]bool{}
+	seenLoop := map[token.Pos]bool{}
+	for _, fd := range s.cg.decls {
+		sum := s.funcSummary(fd)
+		checkCollMismatch(u, r, sum.Effects, nil, seenBranch)
+		checkRankTripLoops(u, r, sum.Effects, seenLoop)
+	}
+	eachFuncLit(u, func(lit *ast.FuncLit) {
+		sum := s.litSummary(lit)
+		checkCollMismatch(u, r, sum.Effects, nil, seenBranch)
+		checkRankTripLoops(u, r, sum.Effects, seenLoop)
+	})
+	checkOrphanTags(u, r, s)
+}
+
+// eachFuncLit visits every function literal in the unit once.
+func eachFuncLit(u *Unit, visit func(lit *ast.FuncLit)) {
+	for _, f := range u.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				visit(lit)
+			}
+			return true
+		})
+	}
+}
+
+// flattenColls linearizes the collective calls under a summary subtree in
+// source order (both arms of branches, loop bodies once), filtered to the
+// branch's communicator like the intraprocedural rule. intraOnly keeps
+// only effects visible without call expansion.
+func flattenColls(effects []Effect, comm string, intraOnly bool) []Effect {
+	var out []Effect
+	for _, e := range effects {
+		switch e.Kind {
+		case EffColl:
+			if intraOnly && len(e.Path) > 0 {
+				continue
+			}
+			if comm == "" || e.Comm == "" || e.Comm == comm {
+				out = append(out, e)
+			}
+		case EffBranch:
+			for _, a := range e.Arms {
+				out = append(out, flattenColls(a, comm, intraOnly)...)
+			}
+		case EffLoop:
+			out = append(out, flattenColls(e.Body, comm, intraOnly)...)
+		}
+	}
+	return out
+}
+
+// checkCollMismatch walks a summary sequence looking for rank-divergent
+// branches whose arms run different collective sequences from the branch
+// to the end of the function, with calls expanded. cont holds the
+// enclosing frames' continuations (the effects ranks fall through to).
+func checkCollMismatch(u *Unit, r *reporter, seq []Effect, cont []Effect, seen map[token.Pos]bool) {
+	for i, e := range seq {
+		rest := seq[i+1:]
+		switch e.Kind {
+		case EffBranch:
+			if e.Divergent && len(e.Path) == 0 && !seen[e.Pos] {
+				seen[e.Pos] = true
+				reportArmMismatch(u, r, e, rest, cont)
+			}
+			childCont := concatEffects(rest, cont)
+			for _, arm := range e.Arms {
+				checkCollMismatch(u, r, arm, childCont, seen)
+			}
+		case EffLoop:
+			checkCollMismatch(u, r, e.Body, concatEffects(rest, cont), seen)
+		}
+	}
+}
+
+func concatEffects(a, b []Effect) []Effect {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]Effect, 0, len(a)+len(b))
+	out = append(out, a...)
+	return append(out, b...)
+}
+
+// reportArmMismatch compares the expanded per-arm collective sequences of
+// one divergent branch and reports when they differ but the mismatch is
+// invisible without call expansion (the intraprocedural collective rule
+// reports the visible ones).
+func reportArmMismatch(u *Unit, r *reporter, br Effect, rest, cont []Effect) {
+	later := flattenColls(concatEffects(rest, cont), br.Comm, false)
+	laterIntra := flattenColls(concatEffects(rest, cont), br.Comm, true)
+
+	full := make([][]Effect, len(br.Arms))
+	intra := make([][]Effect, len(br.Arms))
+	for j, arm := range br.Arms {
+		full[j] = flattenColls(arm, br.Comm, false)
+		intra[j] = flattenColls(arm, br.Comm, true)
+		if !br.Term[j] {
+			full[j] = append(append([]Effect{}, full[j]...), later...)
+			intra[j] = append(append([]Effect{}, intra[j]...), laterIntra...)
+		}
+	}
+	mismatch := false
+	for j := 1; j < len(full); j++ {
+		if !sameOpSeq(full[0], full[j]) {
+			mismatch = true
+		}
+	}
+	if !mismatch {
+		return
+	}
+	for j := 1; j < len(intra); j++ {
+		if !sameOpSeq(intra[0], intra[j]) {
+			return // visible without expansion: the collective rule owns it
+		}
+	}
+	var arms []string
+	for j, ops := range full {
+		arms = append(arms, fmt.Sprintf("arm %d runs [%s]", j+1, describeColls(ops)))
+	}
+	r.report("protocol", br.Pos,
+		"rank-divergent collective sequence across function calls: %s — every rank must execute the same collectives in the same order (sequences include calls after the branch)",
+		strings.Join(arms, ", "))
+}
+
+func sameOpSeq(a, b []Effect) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Op != b[i].Op {
+			return false
+		}
+	}
+	return true
+}
+
+func describeColls(ops []Effect) string {
+	if len(ops) == 0 {
+		return "none"
+	}
+	var ns []string
+	for _, o := range ops {
+		ns = append(ns, o.Op+o.pathString())
+	}
+	return strings.Join(ns, ", ")
+}
+
+// checkRankTripLoops reports collectives inside loops whose trip count is
+// rank-dependent, including collectives reached through calls.
+func checkRankTripLoops(u *Unit, r *reporter, effects []Effect, seen map[token.Pos]bool) {
+	for _, e := range effects {
+		switch e.Kind {
+		case EffLoop:
+			if e.RankTrips {
+				for _, coll := range flattenColls(e.Body, "", false) {
+					if seen[coll.Pos] {
+						continue
+					}
+					seen[coll.Pos] = true
+					loopPos := u.Fset.Position(e.Pos)
+					r.report("protocol", coll.Pos,
+						"collective %s%s inside the loop at %s:%d whose trip count depends on the rank — ranks execute different numbers of this collective, which mismatches the SPMD sequence",
+						coll.Op, coll.pathString(), filepath.Base(loopPos.Filename), loopPos.Line)
+				}
+			}
+			checkRankTripLoops(u, r, e.Body, seen)
+		case EffBranch:
+			for _, arm := range e.Arms {
+				checkRankTripLoops(u, r, arm, seen)
+			}
+		}
+	}
+}
+
+// checkOrphanTags matches constant point-to-point tags package-wide after
+// call expansion. Effects are enumerated from the call-graph roots (and
+// every function literal), so each helper's sends and receives are seen
+// with the most specific bindings its callers provide.
+func checkOrphanTags(u *Unit, r *reporter, s *summarizer) {
+	type site struct {
+		e Effect
+	}
+	var sends, recvs []site
+	sendTags := map[int]bool{}
+	recvTags := map[int]bool{}
+	unknownSend := false
+	wildcardRecv := false
+
+	var gather func(effects []Effect)
+	gather = func(effects []Effect) {
+		for _, e := range effects {
+			switch e.Kind {
+			case EffSend:
+				switch e.Tag.class {
+				case valConst:
+					sendTags[e.Tag.val] = true
+					sends = append(sends, site{e})
+				default:
+					// A dynamic or still-symbolic tag could produce anything
+					// (the function may be called from another package).
+					unknownSend = true
+				}
+			case EffRecv:
+				switch {
+				case e.Tag.class == valConst && e.Tag.val >= 0:
+					recvTags[e.Tag.val] = true
+					if e.Blocking {
+						recvs = append(recvs, site{e})
+					}
+				default:
+					// AnyTag, dynamic, or unbound symbolic: matches anything.
+					wildcardRecv = true
+				}
+			case EffBranch:
+				for _, arm := range e.Arms {
+					gather(arm)
+				}
+			case EffLoop:
+				gather(e.Body)
+			}
+		}
+	}
+	for _, fd := range s.cg.roots() {
+		gather(s.funcSummary(fd).Effects)
+	}
+	eachFuncLit(u, func(lit *ast.FuncLit) {
+		gather(s.litSummary(lit).Effects)
+	})
+
+	seen := map[token.Pos]bool{}
+	if !wildcardRecv {
+		for _, sd := range sends {
+			// Intraprocedurally constant tags are the sendrecv rule's
+			// territory; report only tags resolved by call binding.
+			if !sd.e.Tag.bound || recvTags[sd.e.Tag.val] || seen[sd.e.Pos] {
+				continue
+			}
+			seen[sd.e.Pos] = true
+			r.report("protocol", sd.e.Pos,
+				"Send with tag %d%s has no matching Recv tag anywhere in this package — the tag is bound at the call site, so no run can receive this message",
+				sd.e.Tag.val, sd.e.pathString())
+		}
+	}
+	if !unknownSend {
+		for _, rc := range recvs {
+			if sendTags[rc.e.Tag.val] || seen[rc.e.Pos] {
+				continue
+			}
+			seen[rc.e.Pos] = true
+			r.report("protocol", rc.e.Pos,
+				"blocking Recv with tag %d%s that no reachable Send produces — every rank executing this receive hangs forever",
+				rc.e.Tag.val, rc.e.pathString())
+		}
+	}
+}

@@ -1,0 +1,5 @@
+package fixture
+
+func broken( {
+	return
+}

@@ -1,0 +1,5 @@
+// Package fixture pairs a valid file with one that fails to parse, to
+// test that load errors surface as findings instead of aborting the run.
+package fixture
+
+func fine() int { return 1 }

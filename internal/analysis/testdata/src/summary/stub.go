@@ -1,0 +1,13 @@
+// Package fixture exercises the communication-summary builder: each
+// function below has a golden rendering checked by TestGoldenSummaries.
+package fixture
+
+type Comm struct{}
+
+func (c *Comm) Rank() int { return 0 }
+func (c *Comm) Barrier()  {}
+
+func Send(c *Comm, dst, tag, v int)  {}
+func Recv(c *Comm, src, tag int) int { return 0 }
+
+func Bcast(c *Comm, root, v int) int { return v }

@@ -17,4 +17,15 @@ go test -race ./...
 echo "== peachyvet ./..."
 go run ./cmd/peachyvet ./...
 
+echo "== peachyvet self-test (examples/ and cmd/ stay clean)"
+go run ./cmd/peachyvet -q ./examples/... ./cmd/...
+
+echo "== peachyvet -json artifact"
+mkdir -p out
+go run ./cmd/peachyvet -json ./... > out/peachyvet.json
+echo "wrote out/peachyvet.json"
+
+echo "== analyzer micro-benchmark (one pass)"
+go test -run '^$' -bench BenchmarkLoadAnalyzeRepo -benchtime 1x ./internal/analysis
+
 echo "check.sh: all gates passed"
