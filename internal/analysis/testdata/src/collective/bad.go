@@ -37,3 +37,21 @@ func nestedEarlyReturn(c *Comm) {
 	}
 	c.Barrier()
 }
+
+// Scatter and Alltoall pick their algorithm (binomial tree, pairwise
+// exchange) inside the runtime, but the analyzer's vocabulary is the
+// exported name — divergence must still be flagged.
+func divergentScatter(c *Comm) {
+	if c.Rank() != 0 { // WANT collective
+		return
+	}
+	Scatter(c, 0, []int{1, 2})
+}
+
+func mixedScatterAlltoall(c *Comm) {
+	if c.Rank() == 0 { // WANT collective
+		Scatter(c, 0, []int{1, 2})
+	} else {
+		Alltoall(c, []int{1, 2})
+	}
+}

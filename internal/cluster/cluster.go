@@ -47,6 +47,13 @@ type Options struct {
 	// (0 means 5s). Set it well above the longest legitimate compute
 	// phase between communications.
 	VerifyTimeout time.Duration
+	// BaselineCollectives forces the simple reference algorithms for
+	// every collective (binomial reduce+bcast Allreduce, linear
+	// Gather/Scatter/Allgather, AnySource Alltoall) instead of the
+	// optimized O(log P) ones. Property tests use it as the oracle the
+	// fast paths must match; it is also the fallback the fast paths take
+	// on shapes they do not cover (see docs/substrates.md).
+	BaselineCollectives bool
 }
 
 // DefaultOptions models a commodity cluster interconnect: 1 microsecond
@@ -68,18 +75,68 @@ type message struct {
 	payload  any
 	bytes    int
 	arrive   float64 // sender's simulated clock when the message is available
+	seq      uint64  // per-mailbox arrival stamp; orders wildcard matching
 	op, site string  // Verify mode: collective op + call site that produced this message
 }
 
-// mailbox holds pending messages for one rank. In Verify mode it also
-// mirrors the rank's communication state (what it is blocked on, which
-// collective it is inside) so the deadlock dump can read a consistent
-// snapshot from another goroutine.
+// bucket is a FIFO deque of pending messages from one source rank, in
+// arrival order. head indexes the oldest live entry; vacated slots are
+// zeroed so delivered payloads are not retained past delivery.
+type bucket struct {
+	items []message
+	head  int
+}
+
+func (b *bucket) empty() bool { return b.head == len(b.items) }
+
+func (b *bucket) push(msg message) {
+	// Reclaim the dead prefix once it dominates the backing array, so a
+	// long-lived mailbox doesn't grow without bound.
+	if b.head > 16 && b.head*2 >= len(b.items) {
+		n := copy(b.items, b.items[b.head:])
+		clearTail(b.items[n:])
+		b.items = b.items[:n]
+		b.head = 0
+	}
+	b.items = append(b.items, msg)
+}
+
+// removeAt deletes the message at absolute index i (head <= i < len),
+// zeroing the vacated slot.
+func (b *bucket) removeAt(i int) {
+	if i == b.head {
+		b.items[i] = message{}
+		b.head++
+		if b.empty() {
+			b.items = b.items[:0]
+			b.head = 0
+		}
+		return
+	}
+	copy(b.items[i:], b.items[i+1:])
+	b.items[len(b.items)-1] = message{}
+	b.items = b.items[:len(b.items)-1]
+}
+
+func clearTail(ms []message) {
+	for i := range ms {
+		ms[i] = message{}
+	}
+}
+
+// mailbox holds pending messages for one rank, indexed by source rank so
+// the typical Recv(src, tag) match is O(1) (head of the source's FIFO
+// bucket) instead of a linear scan of everything pending. In Verify mode
+// it also mirrors the rank's communication state (what it is blocked on,
+// which collective it is inside) so the deadlock dump can read a
+// consistent snapshot from another goroutine.
 type mailbox struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pending []message
-	closed  bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	bySrc    []bucket // indexed by sender rank
+	nPending int
+	seq      uint64 // next arrival stamp
+	closed   bool
 
 	waitActive bool // a take is currently blocked
 	waitSrc    int  // the (src, tag) that take is blocked on
@@ -88,17 +145,74 @@ type mailbox struct {
 	collSeq    int    // collective sequence number at the last beginColl
 }
 
-func newMailbox() *mailbox {
-	m := &mailbox{}
+func newMailbox(size int) *mailbox {
+	m := &mailbox{bySrc: make([]bucket, size)}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
-	m.pending = append(m.pending, msg)
+	msg.seq = m.seq
+	m.seq++
+	m.bySrc[msg.src].push(msg)
+	m.nPending++
+	// Targeted wakeup: only signal a blocked take whose (src, tag)
+	// predicate this message can satisfy. Non-matching puts leave the
+	// waiter parked, so a rank blocked on one peer is not woken (and made
+	// to rescan) by every unrelated arrival. The mailbox has at most one
+	// waiter — its owning rank — so Signal suffices.
+	wake := m.waitActive &&
+		(m.waitSrc == AnySource || m.waitSrc == msg.src) &&
+		tagMatches(m.waitTag, msg.tag)
 	m.mu.Unlock()
-	m.cond.Broadcast()
+	if wake {
+		m.cond.Signal()
+	}
+}
+
+// match finds and removes the matching pending message, if any. For a
+// concrete src it scans only that source's bucket (the head in the
+// typical in-order case); for AnySource it takes the earliest-arrived
+// match across buckets, preserving the previous global arrival-order
+// semantics. Caller holds m.mu.
+func (m *mailbox) match(src, tag int) (message, bool) {
+	if m.nPending == 0 {
+		return message{}, false
+	}
+	if src != AnySource {
+		b := &m.bySrc[src]
+		for i := b.head; i < len(b.items); i++ {
+			if tagMatches(tag, b.items[i].tag) {
+				msg := b.items[i]
+				b.removeAt(i)
+				m.nPending--
+				return msg, true
+			}
+		}
+		return message{}, false
+	}
+	bestBucket, bestIdx := -1, -1
+	var bestSeq uint64
+	for s := range m.bySrc {
+		b := &m.bySrc[s]
+		for i := b.head; i < len(b.items); i++ {
+			if tagMatches(tag, b.items[i].tag) {
+				if bestBucket < 0 || b.items[i].seq < bestSeq {
+					bestBucket, bestIdx, bestSeq = s, i, b.items[i].seq
+				}
+				break // later entries in this bucket arrived later
+			}
+		}
+	}
+	if bestBucket < 0 {
+		return message{}, false
+	}
+	b := &m.bySrc[bestBucket]
+	msg := b.items[bestIdx]
+	b.removeAt(bestIdx)
+	m.nPending--
+	return msg, true
 }
 
 // take blocks until a message matching (src, tag) is pending and removes
@@ -124,11 +238,8 @@ func (m *mailbox) take(src, tag int, c *Comm) (message, error) {
 		defer timer.Stop()
 	}
 	for {
-		for i, msg := range m.pending {
-			if (src == AnySource || msg.src == src) && tagMatches(tag, msg.tag) {
-				m.pending = append(m.pending[:i], m.pending[i+1:]...)
-				return msg, nil
-			}
+		if msg, ok := m.match(src, tag); ok {
+			return msg, nil
 		}
 		if m.closed {
 			return message{}, fmt.Errorf("%w while waiting for src=%d tag=%d", errWorldAborted, src, tag)
@@ -193,7 +304,7 @@ func NewWorldOpts(size int, opts Options) *World {
 	w.boxes = make([]*mailbox, size)
 	w.comms = make([]*Comm, size)
 	for r := 0; r < size; r++ {
-		w.boxes[r] = newMailbox()
+		w.boxes[r] = newMailbox(size)
 	}
 	for r := 0; r < size; r++ {
 		w.comms[r] = &Comm{world: w, rank: r}
@@ -391,7 +502,7 @@ func RecvFrom[T any](c *Comm, src, tag int) (T, int) {
 // byteSize estimates the wire size of a payload for the cost model.
 func byteSize(v any) int {
 	switch x := v.(type) {
-	case nil:
+	case nil, struct{}:
 		return 0
 	case bool, int8, uint8:
 		return 1
@@ -415,6 +526,16 @@ func byteSize(v any) int {
 		return 4 * len(x)
 	case []int32:
 		return 4 * len(x)
+	case []uint64:
+		return 8 * len(x)
+	case []bool:
+		return len(x)
+	case [][]float64:
+		n := 0
+		for _, row := range x {
+			n += 8 + 8*len(row) // length prefix + elements
+		}
+		return n
 	case []string:
 		n := 0
 		for _, s := range x {
@@ -426,9 +547,19 @@ func byteSize(v any) int {
 	default:
 		// Unknown payloads get a flat estimate; implement Sizer for
 		// anything whose size matters to an experiment.
+		if UnknownSizeHook != nil {
+			UnknownSizeHook(v)
+		}
 		return 64
 	}
 }
+
+// UnknownSizeHook, when non-nil, is called with every payload whose wire
+// size byteSize cannot derive (such payloads are charged a flat 64 bytes).
+// Experiments that depend on exact byte accounting can set it to log the
+// offending types or fail fast. It must be set before any World runs and
+// must be safe for concurrent calls.
+var UnknownSizeHook func(v any)
 
 // Sizer lets custom payload types report their wire size to the cost model.
 type Sizer interface {

@@ -1,7 +1,6 @@
 package cluster
 
 import (
-	"fmt"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -440,24 +439,6 @@ type sized struct{}
 
 func (sized) WireSize() int { return 12345 }
 
-func BenchmarkAllreduce(b *testing.B) {
-	for _, p := range []int{2, 4, 8} {
-		b.Run(sizeName(p), func(b *testing.B) {
-			w := NewWorld(p)
-			buf := make([]float64, 1024)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				_ = w.Run(func(c *Comm) {
-					local := make([]float64, len(buf))
-					Allreduce(c, local, SumFloat64s)
-				})
-			}
-		})
-	}
-}
-
-func sizeName(p int) string { return fmt.Sprintf("P%d", p) }
-
 func TestProbeAndTryRecv(t *testing.T) {
 	w := NewWorld(2)
 	err := w.Run(func(c *Comm) {
@@ -522,32 +503,6 @@ func TestTryRecvDrainsInOrder(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
-	}
-}
-
-// BenchmarkPingPong is the classic MPI microbenchmark: round-trip time of
-// a message between two ranks, per payload size.
-func BenchmarkPingPong(b *testing.B) {
-	for _, size := range []int{8, 1024, 65536} {
-		b.Run(fmt.Sprintf("%dB", size), func(b *testing.B) {
-			payload := make([]float64, size/8)
-			w := NewWorld(2)
-			b.ResetTimer()
-			_ = w.Run(func(c *Comm) {
-				if c.Rank() == 0 {
-					for i := 0; i < b.N; i++ {
-						Send(c, 1, 1, payload)
-						Recv[[]float64](c, 1, 2)
-					}
-				} else {
-					for i := 0; i < b.N; i++ {
-						Recv[[]float64](c, 0, 1)
-						Send(c, 0, 2, payload)
-					}
-				}
-			})
-			b.SetBytes(int64(2 * size))
-		})
 	}
 }
 

@@ -6,9 +6,24 @@ func (c *Comm) Probe(src, tag int) bool {
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
 	defer box.mu.Unlock()
-	for _, msg := range box.pending {
-		if (src == AnySource || msg.src == src) && tagMatches(tag, msg.tag) {
-			return true
+	if box.nPending == 0 {
+		return false
+	}
+	if src != AnySource {
+		b := &box.bySrc[src]
+		for i := b.head; i < len(b.items); i++ {
+			if tagMatches(tag, b.items[i].tag) {
+				return true
+			}
+		}
+		return false
+	}
+	for s := range box.bySrc {
+		b := &box.bySrc[s]
+		for i := b.head; i < len(b.items); i++ {
+			if tagMatches(tag, b.items[i].tag) {
+				return true
+			}
 		}
 	}
 	return false
@@ -20,16 +35,13 @@ func (c *Comm) Probe(src, tag int) bool {
 func TryRecv[T any](c *Comm, src, tag int) (v T, ok bool) {
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
-	for i, msg := range box.pending {
-		if (src == AnySource || msg.src == src) && tagMatches(tag, msg.tag) {
-			box.pending = append(box.pending[:i], box.pending[i+1:]...)
-			box.mu.Unlock()
-			if msg.arrive > c.clock {
-				c.clock = msg.arrive
-			}
-			return msg.payload.(T), true
-		}
-	}
+	msg, ok := box.match(src, tag)
 	box.mu.Unlock()
-	return v, false
+	if !ok {
+		return v, false
+	}
+	if msg.arrive > c.clock {
+		c.clock = msg.arrive
+	}
+	return msg.payload.(T), true
 }

@@ -133,20 +133,39 @@ func (w *World) deadlockDump(rank, src, tag int, waited time.Duration) string {
 		} else {
 			op = fmt.Sprintf("%s (collective #%d)", op, box.collSeq)
 		}
+		// Render the oldest few pending messages in arrival order by
+		// walking the per-source buckets and merging on arrival stamp.
+		nPending := box.nPending
+		heads := make([]int, len(box.bySrc))
+		for s := range box.bySrc {
+			heads[s] = box.bySrc[s].head
+		}
 		var pend []string
-		for i, m := range box.pending {
-			if i == 3 {
-				pend = append(pend, fmt.Sprintf("+%d more", len(box.pending)-3))
+		for len(pend) < 3 {
+			bestSrc := -1
+			var bestSeq uint64
+			for s := range box.bySrc {
+				bk := &box.bySrc[s]
+				if heads[s] < len(bk.items) && (bestSrc < 0 || bk.items[heads[s]].seq < bestSeq) {
+					bestSrc, bestSeq = s, bk.items[heads[s]].seq
+				}
+			}
+			if bestSrc < 0 {
 				break
 			}
+			m := box.bySrc[bestSrc].items[heads[bestSrc]]
+			heads[bestSrc]++
 			desc := fmt.Sprintf("src=%d tag=%d", m.src, m.tag)
 			if m.op != "" {
 				desc += " op=" + m.op
 			}
 			pend = append(pend, desc)
 		}
+		if nPending > len(pend) {
+			pend = append(pend, fmt.Sprintf("+%d more", nPending-len(pend)))
+		}
 		box.mu.Unlock()
-		fmt.Fprintf(&b, "  rank %d: %s; in %s; %d pending message(s)", r, state, op, len(pend))
+		fmt.Fprintf(&b, "  rank %d: %s; in %s; %d pending message(s)", r, state, op, nPending)
 		if len(pend) > 0 {
 			fmt.Fprintf(&b, " [%s]", strings.Join(pend, ", "))
 		}

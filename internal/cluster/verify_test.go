@@ -149,3 +149,79 @@ func TestAnyTagSkipsCollectiveTraffic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestVerifyDeadlockDumpMergesBuckets: the dump must render pending
+// messages in global arrival order even though the mailbox now shards
+// them into per-source buckets — and report the true total across all
+// buckets. A token chain orders the sends deterministically: rank 1
+// mails two messages, passes the token to rank 2, and so on, while
+// rank 0 blocks on a tag nobody sends.
+func TestVerifyDeadlockDumpMergesBuckets(t *testing.T) {
+	opts := VerifyOptions()
+	opts.VerifyTimeout = 200 * time.Millisecond
+	w := NewWorldOpts(4, opts)
+	err := w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			Recv[int](c, 1, 99)
+		case 1:
+			Send(c, 0, 11, 0)
+			Send(c, 0, 12, 0)
+			Send(c, 2, 1, "token")
+		case 2:
+			Recv[string](c, 1, 1)
+			Send(c, 0, 13, 0)
+			Send(c, 3, 1, "token")
+		case 3:
+			Recv[string](c, 2, 1)
+			Send(c, 0, 14, 0)
+		}
+	})
+	if err == nil {
+		t.Fatal("blocked Recv did not fail under Verify")
+	}
+	msg := err.Error()
+	for _, want := range []string{
+		"rank 0: blocked on src=1 tag=99",
+		"4 pending message(s)",
+		"src=1 tag=11, src=1 tag=12, src=2 tag=13",
+		"+1 more",
+	} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("dump missing %q:\n%s", want, msg)
+		}
+	}
+}
+
+// TestVerifyMismatchWithPendingTraffic: a collective mismatch must still
+// be detected (and the diagnostic must still name both ops) when user
+// point-to-point messages from several sources are already parked in the
+// diverging rank's indexed mailbox. The collective traffic rides reserved
+// negative tags, so the parked user messages must neither satisfy nor
+// confuse the mismatched collective's receives.
+func TestVerifyMismatchWithPendingTraffic(t *testing.T) {
+	w := NewWorldOpts(4, VerifyOptions())
+	err := w.Run(func(c *Comm) {
+		switch c.Rank() {
+		case 2: //peachyvet:allow collective — the mismatch is the point of this test
+			Allreduce(c, 1, func(a, b int) int { return a + b })
+		case 1:
+			Send(c, 2, 21, 0)
+			c.Barrier()
+		case 3:
+			Send(c, 2, 22, 0)
+			c.Barrier()
+		default:
+			c.Barrier()
+		}
+	})
+	if err == nil {
+		t.Fatal("mismatched collectives did not fail")
+	}
+	msg := err.Error()
+	for _, want := range []string{"collective mismatch", "Allreduce", "Barrier", "rank 2"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("diagnostic missing %q:\n%s", want, msg)
+		}
+	}
+}

@@ -3,6 +3,8 @@
 // assignment cites (paper §2) to beat the Θ(n log n) full sort.
 package heapk
 
+import "math"
+
 // Item is a candidate with a priority (for kNN: squared distance) and an
 // opaque payload (for kNN: the class label).
 type Item[T any] struct {
@@ -42,6 +44,21 @@ func (h *Heap[T]) Max() (float64, bool) {
 	}
 	return h.items[0].Priority, true
 }
+
+// Bound returns the priority a new candidate must beat (be strictly
+// below) to be retained: the current maximum once k items are held, +Inf
+// before that. Producers that can compute their priority incrementally
+// can use it to abandon candidates early (see linalg.SqDistBounded).
+func (h *Heap[T]) Bound() float64 {
+	if len(h.items) < h.k {
+		return math.Inf(1)
+	}
+	return h.items[0].Priority
+}
+
+// Reset empties the heap for reuse, retaining its capacity. Lets hot
+// loops (one k-selection per query) amortise the allocation.
+func (h *Heap[T]) Reset() { h.items = h.items[:0] }
 
 // Offer considers a candidate. It returns true if the candidate was
 // retained.

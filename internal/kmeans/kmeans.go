@@ -179,13 +179,154 @@ func Run(points [][]float64, opts Options) *Result {
 	return res
 }
 
-// nearest returns the closest centroid index for p.
-func nearest(p []float64, cents [][]float64) int {
-	best, bestD := 0, math.Inf(1)
+// centIndex is a scratch view of the centroids, rebuilt once per
+// iteration: the rows flattened into one contiguous buffer plus
+// per-centroid squared norms. nearest scores centroid c as
+// ||c||² − 2·p·c, which has the same argmin as the squared distance
+// ||p − c||² (the ||p||² term is constant per point) but needs a third
+// fewer flops and one function call per point instead of one per
+// centroid. Ties still break toward the lower index. Every K-means
+// variant (sequential, shared-memory, distributed) assigns through
+// this kernel, so cross-variant comparisons stay self-consistent.
+type centIndex struct {
+	dim  int
+	k    int
+	flat []float64 // len k*dim, row-major centroid coordinates
+	norm []float64 // len k, squared norms
+	// Register-kernel layout, built when k <= nearestLanes: the
+	// transposed coordinates padded to a fixed nearestLanes columns per
+	// dimension, with unused lanes' norms at +Inf so they never win.
+	t8 []float64 // len dim*nearestLanes
+	n8 [nearestLanes]float64
+}
+
+// nearestLanes is the lane count of the register-resident argmin
+// kernel; larger K falls back to the row-major scan.
+const nearestLanes = 8
+
+// rebuild refreshes the index from the current centroid positions,
+// reusing the buffers from the previous iteration.
+func (ci *centIndex) rebuild(cents [][]float64) {
+	k := len(cents)
+	ci.k = k
+	if k == 0 {
+		ci.dim, ci.flat, ci.norm = 0, ci.flat[:0], ci.norm[:0]
+		return
+	}
+	ci.dim = len(cents[0])
+	if cap(ci.flat) < k*ci.dim {
+		ci.flat = make([]float64, k*ci.dim)
+		ci.norm = make([]float64, k)
+	}
+	ci.flat = ci.flat[:k*ci.dim]
+	ci.norm = ci.norm[:k]
 	for c, cent := range cents {
-		if d := linalg.SqDist(p, cent); d < bestD {
-			best, bestD = c, d
+		copy(ci.flat[c*ci.dim:(c+1)*ci.dim], cent)
+		s := 0.0
+		for _, v := range cent {
+			s += v * v
 		}
+		ci.norm[c] = s
+	}
+	if k > nearestLanes {
+		ci.t8 = ci.t8[:0]
+		return
+	}
+	if cap(ci.t8) < ci.dim*nearestLanes {
+		ci.t8 = make([]float64, ci.dim*nearestLanes)
+	}
+	ci.t8 = ci.t8[:ci.dim*nearestLanes]
+	for i := range ci.t8 {
+		ci.t8[i] = 0
+	}
+	for i := range ci.n8 {
+		ci.n8[i] = math.Inf(1)
+	}
+	for c, cent := range cents {
+		ci.n8[c] = ci.norm[c]
+		for d, v := range cent {
+			ci.t8[d*nearestLanes+c] = v
+		}
+	}
+}
+
+// nearest returns the closest centroid index for p. Safe for concurrent
+// use by multiple workers between rebuilds.
+//
+// For K ≤ nearestLanes the kernel walks dimensions in the outer loop
+// against the padded transposed layout, keeping all K running scores in
+// registers: the inner statements are independent multiply-adds, so the
+// loop is throughput-bound instead of serialised on one floating-point
+// add chain per centroid. Padded lanes start at +Inf and accumulate
+// zeros, so they never win the argmin.
+func (ci *centIndex) nearest(p []float64) int {
+	if ci.k > nearestLanes {
+		return ci.nearestRowwise(p)
+	}
+	a0, a1, a2, a3 := ci.n8[0], ci.n8[1], ci.n8[2], ci.n8[3]
+	a4, a5, a6, a7 := ci.n8[4], ci.n8[5], ci.n8[6], ci.n8[7]
+	t8 := ci.t8
+	off := 0
+	for _, pv := range p[:ci.dim] {
+		m := -2 * pv
+		row := t8[off : off+nearestLanes]
+		a0 += m * row[0]
+		a1 += m * row[1]
+		a2 += m * row[2]
+		a3 += m * row[3]
+		a4 += m * row[4]
+		a5 += m * row[5]
+		a6 += m * row[6]
+		a7 += m * row[7]
+		off += nearestLanes
+	}
+	best, bs := 0, a0
+	if a1 < bs {
+		best, bs = 1, a1
+	}
+	if a2 < bs {
+		best, bs = 2, a2
+	}
+	if a3 < bs {
+		best, bs = 3, a3
+	}
+	if a4 < bs {
+		best, bs = 4, a4
+	}
+	if a5 < bs {
+		best, bs = 5, a5
+	}
+	if a6 < bs {
+		best, bs = 6, a6
+	}
+	if a7 < bs {
+		best = 7
+	}
+	return best
+}
+
+// nearestRowwise is the large-K fallback: one dot product per centroid
+// against the row-major layout.
+func (ci *centIndex) nearestRowwise(p []float64) int {
+	best, bestScore := 0, math.Inf(1)
+	dim := ci.dim
+	p = p[:dim]
+	off := 0
+	for c := range ci.norm {
+		row := ci.flat[off : off+dim]
+		var s0, s1 float64
+		i := 0
+		for ; i+1 < len(row); i += 2 {
+			s0 += p[i] * row[i]
+			s1 += p[i+1] * row[i+1]
+		}
+		if i < len(row) {
+			s0 += p[i] * row[i]
+		}
+		if score := ci.norm[c] - 2*(s0+s1); score < bestScore {
+			best, bestScore = c, score
+		}
+		off += dim
 	}
 	return best
 }
@@ -195,11 +336,13 @@ func nearest(p []float64, cents [][]float64) int {
 // update race on the changes counter is the one the strategies resolve.
 func assignPhase(points [][]float64, cents [][]float64, assign []int, opts Options) int {
 	n := len(points)
+	var ci centIndex
+	ci.rebuild(cents)
 	switch opts.Strategy {
 	case Sequential:
 		changes := 0
 		for i := 0; i < n; i++ {
-			c := nearest(points[i], cents)
+			c := ci.nearest(points[i])
 			if c != assign[i] {
 				changes++
 				assign[i] = c
@@ -209,7 +352,7 @@ func assignPhase(points [][]float64, cents [][]float64, assign []int, opts Optio
 	case Critical:
 		acc := par.NewCriticalAccumulator(0, 1)
 		par.For(n, opts.Workers, func(i int) {
-			c := nearest(points[i], cents)
+			c := ci.nearest(points[i])
 			if c != assign[i] {
 				assign[i] = c
 				acc.AddCount(0, 1)
@@ -219,7 +362,7 @@ func assignPhase(points [][]float64, cents [][]float64, assign []int, opts Optio
 	case Atomic:
 		acc := par.NewAtomicAccumulator(0, 1)
 		par.For(n, opts.Workers, func(i int) {
-			c := nearest(points[i], cents)
+			c := ci.nearest(points[i])
 			if c != assign[i] {
 				assign[i] = c
 				acc.AddCount(0, 1)
@@ -230,7 +373,7 @@ func assignPhase(points [][]float64, cents [][]float64, assign []int, opts Optio
 		return par.Reduce(n, opts.Workers,
 			func() int { return 0 },
 			func(acc int, i int) int {
-				c := nearest(points[i], cents)
+				c := ci.nearest(points[i])
 				if c != assign[i] {
 					assign[i] = c
 					return acc + 1
@@ -371,11 +514,13 @@ func RunDistributed(world *cluster.World, points [][]float64, opts Options) (*Re
 		var changesPerIter []int
 		converged := false
 
+		var ci centIndex
 		for it := 0; it < opts.MaxIter; it++ {
 			// Local assignment + local partial sums.
+			ci.rebuild(cents)
 			buf := make([]float64, k*dim+k+1) // sums | counts | changes
 			for i, p := range local {
-				cl := nearest(p, cents)
+				cl := ci.nearest(p)
 				if cl != assign[i] {
 					assign[i] = cl
 					buf[k*dim+k]++

@@ -37,13 +37,16 @@ func MiniBatch(points [][]float64, opts Options, batch, iters int) *Result {
 	counts := make([]float64, opts.K)
 	r := prng.New(opts.Seed ^ 0xabcdef)
 
+	var ci centIndex
 	for it := 0; it < iters; it++ {
-		// Sample the batch and cache assignments.
+		// Sample the batch and cache assignments. Centroids moved last
+		// iteration, so refresh the index first.
+		ci.rebuild(cents)
 		idx := make([]int, batch)
 		assign := make([]int, batch)
 		for b := 0; b < batch; b++ {
 			idx[b] = r.Intn(n)
-			assign[b] = nearest(points[idx[b]], cents)
+			assign[b] = ci.nearest(points[idx[b]])
 		}
 		// Per-centroid gradient step.
 		for b := 0; b < batch; b++ {
@@ -59,9 +62,10 @@ func MiniBatch(points [][]float64, opts Options, batch, iters int) *Result {
 	}
 
 	// Full final assignment.
+	ci.rebuild(cents)
 	full := make([]int, n)
 	for i, p := range points {
-		full[i] = nearest(p, cents)
+		full[i] = ci.nearest(p)
 	}
 	return &Result{
 		Centroids:  cents,

@@ -16,6 +16,7 @@
 package knn
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/cluster"
@@ -37,6 +38,34 @@ type Candidate struct {
 // nearest. Ties break toward the smaller class label so every variant
 // agrees deterministically.
 func Vote(cands []Candidate) int {
+	// Class labels are small non-negative ints in every dataset variant;
+	// count them in a stack array when they fit and only fall back to a
+	// map for exotic label spaces.
+	const stackClasses = 64
+	fits := len(cands) > 0
+	for _, c := range cands {
+		if c.Class < 0 || c.Class >= stackClasses {
+			fits = false
+			break
+		}
+	}
+	if fits {
+		var counts [stackClasses]int
+		maxClass := 0
+		for _, c := range cands {
+			counts[c.Class]++
+			if c.Class > maxClass {
+				maxClass = c.Class
+			}
+		}
+		best, bestN := -1, -1
+		for class := maxClass; class >= 0; class-- {
+			if counts[class] >= bestN {
+				best, bestN = class, counts[class]
+			}
+		}
+		return best
+	}
 	counts := map[int]int{}
 	for _, c := range cands {
 		counts[c.Class]++
@@ -54,7 +83,10 @@ func Vote(cands []Candidate) int {
 func kNearestHeap(db *dataio.Dataset, q []float64, k int) []Candidate {
 	h := heapk.New[int](k)
 	for i, p := range db.Points {
-		h.Offer(linalg.SqDist(q, p), db.Labels[i])
+		bound := h.Bound()
+		if d := linalg.SqDistBounded(q, p, bound); d < bound {
+			h.Offer(d, db.Labels[i])
+		}
 	}
 	items := h.Sorted()
 	out := make([]Candidate, len(items))
@@ -127,6 +159,132 @@ type dbShard struct {
 	Labels []int
 }
 
+// annulusPivots is the number of vantage pivots the annulus index keeps.
+// The first orders the scan; the rest only filter.
+const annulusPivots = 3
+
+// annulusIndex accelerates exact k-nearest scans over a fixed point set
+// with vantage-point pruning. Points are sorted by distance ("radius")
+// to a corner pivot — chosen by the farthest-point heuristic so that
+// clustered data lands in well-separated radius bands (a centroid pivot
+// would see all clusters at similar radii and prune nothing). A query
+// scans outward from its own radius in both directions; the triangle
+// inequality gives d(q,p) >= |d(q,v) - d(p,v)| for any pivot v, so a
+// direction stops permanently once its gap to the first pivot reaches
+// the current heap bound, and the remaining pivots veto individual
+// candidates before the full distance is computed. Results are identical
+// to a full scan (every bound is conservative); only candidate-visit
+// order changes.
+type annulusIndex struct {
+	order  []int                    // point indices by ascending first-pivot radius
+	radius [annulusPivots][]float64 // per-pivot radii, in order[] order
+	pivots [annulusPivots][]float64 // the pivot points
+}
+
+func newAnnulusIndex(points [][]float64) *annulusIndex {
+	np := len(points)
+	ann := &annulusIndex{order: make([]int, np)}
+	if np == 0 {
+		return ann
+	}
+	centroid := make([]float64, len(points[0]))
+	for _, p := range points {
+		for d, v := range p {
+			centroid[d] += v
+		}
+	}
+	for d := range centroid {
+		centroid[d] /= float64(np)
+	}
+	// Farthest-point chain: pivot 0 is the point farthest from the
+	// centroid, each next pivot the point farthest from the previous —
+	// extremes that end up in distinct clusters when the data has them.
+	farthest := func(from []float64) []float64 {
+		best, bestD := 0, -1.0
+		for i, p := range points {
+			if d := linalg.SqDist(p, from); d > bestD {
+				best, bestD = i, d
+			}
+		}
+		return points[best]
+	}
+	prev := centroid
+	for j := range ann.pivots {
+		ann.pivots[j] = farthest(prev)
+		prev = ann.pivots[j]
+	}
+	byPoint := make([]float64, np)
+	for i, p := range points {
+		byPoint[i] = math.Sqrt(linalg.SqDist(p, ann.pivots[0]))
+		ann.order[i] = i
+	}
+	sort.Slice(ann.order, func(a, b int) bool {
+		ra, rb := byPoint[ann.order[a]], byPoint[ann.order[b]]
+		if ra != rb {
+			return ra < rb
+		}
+		return ann.order[a] < ann.order[b] // deterministic on radius ties
+	})
+	for j := range ann.radius {
+		ann.radius[j] = make([]float64, np)
+	}
+	for s, i := range ann.order {
+		ann.radius[0][s] = byPoint[i]
+		for j := 1; j < annulusPivots; j++ {
+			ann.radius[j][s] = math.Sqrt(linalg.SqDist(points[i], ann.pivots[j]))
+		}
+	}
+	return ann
+}
+
+// kNearest offers the query's k nearest shard points to h (which the
+// caller has Reset to the desired k).
+func (ann *annulusIndex) kNearest(q []float64, shard dbShard, h *heapk.Heap[int]) {
+	np := len(ann.order)
+	if np == 0 {
+		return
+	}
+	var rq [annulusPivots]float64
+	for j := range rq {
+		rq[j] = math.Sqrt(linalg.SqDist(q, ann.pivots[j]))
+	}
+	r0 := ann.radius[0]
+	hi := sort.SearchFloat64s(r0, rq[0])
+	lo := hi - 1
+	visit := func(s int, bound float64) {
+		for j := 1; j < annulusPivots; j++ {
+			if g := rq[j] - ann.radius[j][s]; g*g >= bound {
+				return
+			}
+		}
+		i := ann.order[s]
+		if d := linalg.SqDistBounded(q, shard.Points[i], bound); d < bound {
+			h.Offer(d, shard.Labels[i])
+		}
+	}
+	for lo >= 0 || hi < np {
+		bound := h.Bound()
+		if lo >= 0 {
+			if g := rq[0] - r0[lo]; g*g >= bound {
+				lo = -1
+			}
+		}
+		if hi < np {
+			if g := r0[hi] - rq[0]; g*g >= bound {
+				hi = np
+			}
+		}
+		switch {
+		case lo >= 0 && (hi >= np || rq[0]-r0[lo] <= r0[hi]-rq[0]):
+			visit(lo, bound)
+			lo--
+		case hi < np:
+			visit(hi, bound)
+			hi++
+		}
+	}
+}
+
 // MapReduce classifies queries on a cluster.World using the MapReduce
 // formulation. The database is sharded across ranks; each map task scans
 // its shard against all queries. With useCombiner, each rank first merges
@@ -144,23 +302,42 @@ func MapReduce(world *cluster.World, db *dataio.Dataset, queries [][]float64, k 
 
 	job := &mapreduce.Job[dbShard, int, []Candidate, int]{
 		Map: func(shard dbShard, emit func(int, []Candidate)) {
-			for qi, q := range queries {
-				if useCombiner {
-					// Per-point emission would be wasteful here
-					// anyway; emit per-shard singletons so the
-					// combiner has real work but the map stays
-					// O(n log k).
-					h := heapk.New[int](k)
-					for i, p := range shard.Points {
-						h.Offer(linalg.SqDist(q, p), shard.Labels[i])
-					}
-					for _, it := range h.Sorted() {
-						emit(qi, []Candidate{{it.Priority, it.Value}})
-					}
-				} else {
+			if !useCombiner {
+				// The per-point baseline the combiner experiment
+				// compares against: every candidate crosses the wire.
+				for qi, q := range queries {
 					for i, p := range shard.Points {
 						emit(qi, []Candidate{{linalg.SqDist(q, p), shard.Labels[i]}})
 					}
+				}
+				return
+			}
+			// Per-shard annulus index, built once and amortised over
+			// the query sweep (Map runs once per rank, so all of this
+			// state is goroutine-local): points sorted by distance to
+			// the shard centroid. By the triangle inequality
+			// d(q,p) >= |d(q,c) - d(p,c)|, so scanning outward from
+			// the query's own radius lets a side stop as soon as its
+			// annulus gap squared reaches the heap bound — and the
+			// gaps only grow from there. Scanning near-radius points
+			// first also tightens the bound much faster than shard
+			// order.
+			ann := newAnnulusIndex(shard.Points)
+			h := heapk.New[int](k)
+			for qi, q := range queries {
+				h.Reset()
+				ann.kNearest(q, shard, h)
+				// The combiner re-selects with its own heap, so
+				// emission order is irrelevant; Items avoids Sorted's
+				// destructive re-sift, and one backing array serves
+				// all k singleton emissions.
+				items := h.Items()
+				arr := make([]Candidate, len(items))
+				for i, it := range items {
+					arr[i] = Candidate{it.Priority, it.Value}
+				}
+				for i := range arr {
+					emit(qi, arr[i:i+1])
 				}
 			}
 		},
@@ -171,7 +348,8 @@ func MapReduce(world *cluster.World, db *dataio.Dataset, queries [][]float64, k 
 					h.Offer(c.Dist, c.Class)
 				}
 			}
-			items := h.Sorted()
+			// Vote is order-independent, so skip Sorted's re-sift.
+			items := h.Items()
 			cands := make([]Candidate, len(items))
 			for i, it := range items {
 				cands[i] = Candidate{it.Priority, it.Value}

@@ -71,12 +71,14 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 		j.Map(in, emit)
 	}
 
-	// Optional combine phase: fold each key's local values to one.
+	// Optional combine phase: fold each key's local values to one,
+	// reusing each value slice's backing array for the folded result.
 	if j.Combine != nil {
 		for _, b := range buckets {
 			for k, vs := range b {
 				if len(vs) > 1 {
-					b[k] = []V{j.Combine(k, vs)}
+					cv := j.Combine(k, vs)
+					b[k] = append(vs[:0], cv)
 				}
 			}
 		}
@@ -85,7 +87,11 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 	// Aggregate phase: total exchange of pair batches.
 	parts := make([]batch[K, V], size)
 	for r, b := range buckets {
-		var ps []Pair[K, V]
+		n := 0
+		for _, vs := range b {
+			n += len(vs)
+		}
+		ps := make([]Pair[K, V], 0, n)
 		for k, vs := range b {
 			for _, v := range vs {
 				ps = append(ps, Pair[K, V]{k, v})
@@ -96,7 +102,11 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 	incoming := cluster.Alltoall(c, parts)
 
 	// Collate phase: group received pairs by key.
-	grouped := make(map[K][]V)
+	nIn := 0
+	for _, bt := range incoming {
+		nIn += len(bt.pairs)
+	}
+	grouped := make(map[K][]V, nIn)
 	for _, bt := range incoming {
 		for _, p := range bt.pairs {
 			grouped[p.Key] = append(grouped[p.Key], p.Value)

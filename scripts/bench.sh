@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Benchmark harness for the cluster runtime: runs the transport/collective
+# microbenchmarks plus the cluster-backed experiment benchmarks and records
+# the numbers in BENCH_cluster.json — the tracked baseline to diff against
+# when touching the mailbox, the collective algorithms, or the kernels
+# under them. Parsing is plain awk: no dependencies beyond the go toolchain.
+#
+# Usage:
+#   scripts/bench.sh            # full run, rewrites BENCH_cluster.json
+#   scripts/bench.sh --short    # quick smoke (few iterations, subset),
+#                               # writes out/BENCH_cluster.short.json and
+#                               # leaves the tracked baseline alone
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="BENCH_cluster.json"
+
+case "$MODE" in
+--short | short)
+	BENCHTIME=5x
+	CLUSTER_RE='BenchmarkPingPong|BenchmarkMessageRate|BenchmarkCollectives/(Barrier|Allreduce)/'
+	ROOT_RE='BenchmarkC8TaskFarm'
+	OUT="out/BENCH_cluster.short.json"
+	;;
+full | --full)
+	BENCHTIME=1s
+	CLUSTER_RE='BenchmarkPingPong|BenchmarkAllreduce|BenchmarkMessageRate|BenchmarkCollectives'
+	ROOT_RE='BenchmarkC1KNNMapReduce|BenchmarkC2CombinerEffect|BenchmarkC4KMeansDistributed|BenchmarkC8TaskFarm'
+	;;
+*)
+	echo "usage: scripts/bench.sh [--short]" >&2
+	exit 2
+	;;
+esac
+
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+echo "== cluster microbenchmarks (benchtime=$BENCHTIME)"
+go test -run '^$' -bench "$CLUSTER_RE" -benchmem -benchtime "$BENCHTIME" ./internal/cluster | tee -a "$TMP"
+
+echo "== cluster-backed experiment benchmarks (benchtime=$BENCHTIME)"
+go test -run '^$' -bench "$ROOT_RE" -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
+
+mkdir -p "$(dirname "$OUT")"
+awk -v host="$(uname -sm)" -v gover="$(go version | awk '{print $3}')" \
+	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = ""; simus = ""; shuffle = ""
+	for (i = 3; i < NF; i += 2) {
+		v = $i; u = $(i + 1)
+		if (u == "ns/op") ns = v
+		else if (u == "allocs/op") allocs = v
+		else if (u == "sim-us") simus = v
+		else if (u == "shuffle-bytes") shuffle = v
+	}
+	if (ns == "") next
+	line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+	if (simus != "") line = line sprintf(", \"sim_us\": %s", simus)
+	if (shuffle != "") line = line sprintf(", \"shuffle_bytes\": %s", shuffle)
+	rows[n++] = line "}"
+}
+END {
+	printf "{\n  \"host\": \"%s\",\n  \"go\": \"%s\",\n  \"date\": \"%s\",\n  \"benchmarks\": [\n", host, gover, date
+	for (i = 0; i < n; i++) printf "%s%s\n", rows[i], (i < n - 1 ? "," : "")
+	printf "  ]\n}\n"
+}' "$TMP" >"$OUT"
+
+echo "bench.sh: wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"

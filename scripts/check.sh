@@ -28,4 +28,7 @@ echo "wrote out/peachyvet.json"
 echo "== analyzer micro-benchmark (one pass)"
 go test -run '^$' -bench BenchmarkLoadAnalyzeRepo -benchtime 1x ./internal/analysis
 
+echo "== bench harness smoke (short mode)"
+scripts/bench.sh --short
+
 echo "check.sh: all gates passed"
