@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/ensemble"
 	"repro/internal/mnistgen"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	seed := flag.Uint64("seed", 7, "data and HPO seed")
 	saveBest := flag.String("save", "", "write the best member's model to this file")
 	monitor := flag.Bool("monitor", false, "record per-epoch validation accuracy (runs locally)")
+	obsCLI := obs.BindCLI()
 	flag.Parse()
 
 	ds := mnistgen.Generate(*seed, *trainN)
@@ -43,6 +45,7 @@ func main() {
 	fmt.Printf("HPO grid: %d configs, train=%d val=%d\n", len(cfgs), train.Len(), val.Len())
 
 	start := time.Now()
+	var trace *obs.Trace
 	var ens *ensemble.Ensemble
 	if *monitor {
 		e, trajs := ensemble.TrainWithMonitor(train, val, cfgs, 0, 0)
@@ -59,6 +62,9 @@ func main() {
 		fmt.Printf("culling kept %d of %d members\n", len(ens.Members), len(cfgs))
 	} else {
 		world := cluster.NewWorld(*ranks)
+		if obsCLI.Enabled() {
+			trace = world.Observe()
+		}
 		e, report, err := ensemble.TrainDistributed(world, train, val, cfgs, *dynamic)
 		if err != nil {
 			fatal(err)
@@ -72,6 +78,9 @@ func main() {
 			mode, *ranks, report.PerRank, report.Imbalance())
 	}
 	fmt.Printf("training wall time: %.2fs\n", time.Since(start).Seconds())
+	if err := obsCLI.Emit(trace); err != nil {
+		fatal(err)
+	}
 
 	best := ens.Best()
 	fmt.Printf("best member: %s -> val accuracy %.3f\n", best.Cfg, best.ValAccuracy)

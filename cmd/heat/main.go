@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/heat"
 	"repro/internal/locale"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,12 +26,20 @@ func main() {
 	locales := flag.Int("locales", 4, "simulated compute nodes")
 	cores := flag.Int("cores", 2, "cores per locale")
 	workers := flag.Int("workers", 0, "workers for -solver local")
+	obsCLI := obs.BindCLI()
 	flag.Parse()
 
 	p := heat.Problem{Alpha: *alpha, U0: heat.SinInit(*nx), Steps: *nt}
 	sys := locale.NewSystem(*locales, *cores)
 
 	start := time.Now()
+	var trace *obs.Trace
+	var rec *obs.Recorder
+	if obsCLI.Enabled() {
+		trace = obs.NewTrace(1)
+		rec = trace.Rank(0)
+	}
+	wall := rec.Now()
 	var u []float64
 	var err error
 	switch *solver {
@@ -48,7 +57,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	rec.WallSpan("heat."+*solver, wall,
+		obs.KV{K: "nx", V: int64(*nx)}, obs.KV{K: "nt", V: int64(*nt)})
 	elapsed := time.Since(start)
+	if err := obsCLI.Emit(trace); err != nil {
+		fatal(err)
+	}
 
 	// The half-sine initial condition decays by an exact analytic factor,
 	// so the solution error is measurable without a reference run.

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataio"
 	"repro/internal/kmeans"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func main() {
 	distributed := flag.Bool("distributed", false, "run on simulated cluster ranks")
 	ranks := flag.Int("ranks", 4, "ranks when -distributed")
 	inPath := flag.String("in", "", "CSV input (cols: x1..xd,label); overrides synthetic")
+	obsCLI := obs.BindCLI()
 	flag.Parse()
 
 	var points [][]float64
@@ -54,9 +56,13 @@ func main() {
 	}
 
 	start := time.Now()
+	var trace *obs.Trace
 	var res *kmeans.Result
 	if *distributed {
 		world := cluster.NewWorld(*ranks)
+		if obsCLI.Enabled() {
+			trace = world.Observe()
+		}
 		var err error
 		res, err = kmeans.RunDistributed(world, points, opts)
 		if err != nil {
@@ -65,9 +71,20 @@ func main() {
 		fmt.Printf("cluster: %d messages, %d bytes, simulated time %.2g s\n",
 			world.TotalMessages(), world.TotalBytes(), world.SimTime())
 	} else {
+		var rec *obs.Recorder
+		if obsCLI.Enabled() {
+			trace = obs.NewTrace(1)
+			rec = trace.Rank(0)
+		}
+		wall := rec.Now()
 		res = kmeans.Run(points, opts)
+		rec.WallSpan("kmeans."+*strategy, wall,
+			obs.KV{K: "points", V: int64(len(points))}, obs.KV{K: "iterations", V: int64(res.Iterations)})
 	}
 	elapsed := time.Since(start)
+	if err := obsCLI.Emit(trace); err != nil {
+		fatal(err)
+	}
 
 	fmt.Printf("n=%d d=%d K=%d strategy=%s: %.3fs, %d iterations (converged=%v), WCSS=%.2f\n",
 		len(points), len(points[0]), *k, *strategy,

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataio"
 	"repro/internal/knn"
+	"repro/internal/obs"
 	"repro/internal/spatial"
 )
 
@@ -31,6 +32,7 @@ func main() {
 	ranks := flag.Int("ranks", 4, "cluster ranks for -variant mapreduce")
 	combiner := flag.Bool("combiner", true, "use local reductions in mapreduce")
 	dbPath := flag.String("db", "", "CSV database (cols: x1..xd,label); overrides synthetic")
+	obsCLI := obs.BindCLI()
 	flag.Parse()
 
 	var db *dataio.Dataset
@@ -57,19 +59,34 @@ func main() {
 	}
 
 	start := time.Now()
+	var trace *obs.Trace
 	var pred []int
 	switch *variant {
-	case "sort":
-		pred = knn.SequentialSort(db, queries, *k)
-	case "heap":
-		pred = knn.SequentialHeap(db, queries, *k)
-	case "parallel":
-		pred = knn.Parallel(db, queries, *k, *workers)
-	case "kdtree":
-		tree := spatial.NewKDTreeParallel(db.Points, db.Labels, *workers)
-		pred = knn.KDTree(tree, queries, *k, *workers)
+	case "sort", "heap", "parallel", "kdtree":
+		var rec *obs.Recorder
+		if obsCLI.Enabled() {
+			trace = obs.NewTrace(1)
+			rec = trace.Rank(0)
+		}
+		wall := rec.Now()
+		switch *variant {
+		case "sort":
+			pred = knn.SequentialSort(db, queries, *k)
+		case "heap":
+			pred = knn.SequentialHeap(db, queries, *k)
+		case "parallel":
+			pred = knn.Parallel(db, queries, *k, *workers)
+		case "kdtree":
+			tree := spatial.NewKDTreeParallel(db.Points, db.Labels, *workers)
+			pred = knn.KDTree(tree, queries, *k, *workers)
+		}
+		rec.WallSpan("knn."+*variant, wall,
+			obs.KV{K: "queries", V: int64(len(queries))}, obs.KV{K: "db", V: int64(db.Len())})
 	case "mapreduce":
 		world := cluster.NewWorld(*ranks)
+		if obsCLI.Enabled() {
+			trace = world.Observe()
+		}
 		var err error
 		pred, err = knn.MapReduce(world, db, queries, *k, *combiner)
 		if err != nil {
@@ -81,6 +98,9 @@ func main() {
 		fatal(fmt.Errorf("unknown variant %q", *variant))
 	}
 	elapsed := time.Since(start)
+	if err := obsCLI.Emit(trace); err != nil {
+		fatal(err)
+	}
 
 	fmt.Printf("variant=%s n=%d q=%d d=%d k=%d: %.3fs, accuracy %.4f\n",
 		*variant, db.Len(), len(queries), db.Dim, *k,

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -35,6 +36,27 @@ func main() {
 		}
 	case "vet":
 		os.Exit(analysis.Main(os.Args[2:], os.Stdout, os.Stderr))
+	case "obs-lint":
+		if len(os.Args) < 3 {
+			fmt.Fprintln(os.Stderr, "peachy obs-lint: no files given")
+			os.Exit(2)
+		}
+		bad := 0
+		for _, path := range os.Args[2:] {
+			data, err := os.ReadFile(path)
+			if err == nil {
+				err = obs.LintFile(data)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "peachy obs-lint: %s: %v\n", path, err)
+				bad++
+				continue
+			}
+			fmt.Printf("%s: ok\n", path)
+		}
+		if bad > 0 {
+			os.Exit(1)
+		}
 	case "list":
 		for _, e := range core.AllExhibits() {
 			fmt.Printf("%-7s %s\n", e.ID, e.Title)
@@ -76,7 +98,8 @@ func usage() {
   peachy list
   peachy repro [-out dir] [-quick] [-only id]
   peachy verify
-  peachy vet [-rules r1,r2] [-q] [-json|-sarif] [./... | dir ...]`)
+  peachy vet [-rules r1,r2] [-q] [-json|-sarif] [./... | dir ...]
+  peachy obs-lint trace-or-metrics.json ...`)
 }
 
 func fatal(err error) {

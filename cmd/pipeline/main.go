@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"repro/internal/nycgen"
+	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/rdd"
 	"repro/internal/viz"
@@ -26,14 +27,25 @@ func main() {
 	corruption := flag.Float64("corruption", 0.03, "fraction of damaged rows")
 	heatmap := flag.String("heatmap", "", "write the per-100k heat map to this .ppm file")
 	trips := flag.Bool("trips", false, "run the trips/weather pipeline instead")
+	obsCLI := obs.BindCLI()
 	flag.Parse()
 
 	ctx := rdd.NewContext()
+	// The rdd engine is driver-sequential, so the whole pipeline records
+	// onto a single-rank trace attached to the context.
+	var trace *obs.Trace
+	if obsCLI.Enabled() {
+		trace = obs.NewTrace(1)
+		ctx.SetRecorder(trace.Rank(0))
+	}
 	if *trips {
 		tripData, weather := pipeline.GenerateTrips(*seed, 300)
 		fmt.Printf("trips=%d days=%d\n", len(tripData), len(weather))
 		for _, s := range pipeline.TripsPipeline(ctx, tripData, weather, *parts) {
 			fmt.Println(s)
+		}
+		if err := obsCLI.Emit(trace); err != nil {
+			fatal(err)
 		}
 		return
 	}
@@ -62,6 +74,9 @@ func main() {
 		100*float64(rep.TotalRows-rep.CleanRows)/float64(rep.TotalRows))
 	fmt.Printf("engine: %d shuffles, %d shuffled records, %d tasks\n",
 		ctx.ShuffleCount(), ctx.ShuffledRecords(), ctx.TaskCount())
+	if err := obsCLI.Emit(trace); err != nil {
+		fatal(err)
+	}
 
 	fmt.Println("\nTop NTAs by arrests per 100k:")
 	for _, c := range rep.TopNTAs(8) {

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 	"repro/internal/viz"
 )
@@ -32,6 +33,7 @@ func main() {
 	open := flag.Bool("open", false, "open boundaries: inject at the left, exit at the right")
 	alpha := flag.Float64("alpha", 0.3, "injection probability for -open")
 	ranks := flag.Int("ranks", 0, "run distributed over this many simulated cluster ranks")
+	obsCLI := obs.BindCLI()
 	flag.Parse()
 
 	cfg := traffic.Config{Cars: *cars, RoadLen: *roadLen, VMax: *vmax, P: *p, Seed: *seed}
@@ -118,17 +120,32 @@ func main() {
 		fatal(err)
 	}
 	start := time.Now()
+	var trace *obs.Trace
 	if *ranks > 0 {
 		world := cluster.NewWorld(*ranks)
+		if obsCLI.Enabled() {
+			trace = world.Observe()
+		}
 		if err := s.RunCluster(world, *steps); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("cluster: %d messages, %d bytes, simulated time %.2g s\n",
 			world.TotalMessages(), world.TotalBytes(), world.SimTime())
 	} else {
+		var rec *obs.Recorder
+		if obsCLI.Enabled() {
+			trace = obs.NewTrace(1)
+			rec = trace.Rank(0)
+		}
+		wall := rec.Now()
 		s.RunParallel(*steps, *workers, m)
+		rec.WallSpan("traffic.parallel", wall,
+			obs.KV{K: "steps", V: int64(*steps)}, obs.KV{K: "cars", V: int64(*cars)})
 	}
 	elapsed := time.Since(start)
+	if err := obsCLI.Emit(trace); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("cars=%d road=%d p=%.2f vmax=%d steps=%d mode=%s: %.3fs\n",
 		*cars, *roadLen, *p, *vmax, *steps, m, elapsed.Seconds())
 	fmt.Printf("mean velocity %.3f, flow %.3f cars/cell/step, fingerprint %016x\n",

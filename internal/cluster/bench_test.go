@@ -87,7 +87,12 @@ func BenchmarkMessageRate(b *testing.B) {
 					}
 				}
 			})
-			b.ReportMetric(float64(b.N*(P-1)), "msgs/op")
+			// Metrics are per benchmark iteration: each op delivers P-1
+			// messages into rank 0's mailbox. (A previous version reported
+			// the total message count, which grew with b.N and made runs
+			// incomparable.)
+			b.ReportMetric(float64(P-1), "msgs/op")
+			b.ReportMetric(float64(w.TotalBytes())/float64(b.N), "bytes/op")
 		})
 	}
 }

@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // AnySource matches a message from any rank in Recv.
@@ -315,6 +317,21 @@ func NewWorldOpts(size int, opts Options) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// Observe attaches a fresh per-rank trace to the world and returns it.
+// Every message, receive wait and collective from here on is recorded
+// into the trace's lock-free per-rank buffers; export with
+// Trace.WriteChrome / WriteMetrics / WriteSummary after Run returns.
+// Call before Run (ranks must be quiescent); calling again replaces the
+// previous trace. With no trace attached the runtime's only overhead is
+// one nil check per instrumented operation.
+func (w *World) Observe() *obs.Trace {
+	t := obs.NewTrace(w.size)
+	for r, c := range w.comms {
+		c.rec = t.Rank(r)
+	}
+	return t
+}
+
 // Run executes f once per rank, concurrently, and blocks until every rank
 // returns. A panic in any rank aborts the world (unblocking ranks stuck in
 // Recv) and is reported as an error. Root-cause panics win over the
@@ -410,6 +427,16 @@ type Comm struct {
 	msgs  int64
 	bytes int64
 
+	// rec is the rank's trace recorder (nil = observability off; every
+	// obs call site guards on that, so the disabled cost is one branch).
+	rec *obs.Recorder
+	// obsOp/obsRoot/obsSimStart/obsWallStart hold the outermost in-flight
+	// collective between beginColl and endColl.
+	obsOp        string
+	obsRoot      int
+	obsSimStart  float64
+	obsWallStart int64
+
 	collSeq int // collective matching sequence; see collTag
 	subGen  int // sub-communicator generation counter; see Split
 
@@ -435,14 +462,23 @@ func (c *Comm) Clock() float64 { return c.clock }
 // to model local work between communication phases.
 func (c *Comm) AdvanceClock(seconds float64) { c.clock += seconds }
 
+// Obs returns this rank's trace recorder, or nil when no trace is
+// attached. Substrate layers use it to record their own phase spans; all
+// obs.Recorder methods are nil-safe, so callers need no guard.
+func (c *Comm) Obs() *obs.Recorder { return c.rec }
+
 // sendRaw posts a message and advances the sender's clock.
 func (c *Comm) sendRaw(dst, tag int, payload any, bytes int) {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("cluster: send to invalid rank %d", dst))
 	}
+	simStart := c.clock
 	c.clock += c.world.opts.Latency + c.world.opts.ByteTime*float64(bytes)
 	c.msgs++
 	c.bytes += int64(bytes)
+	if c.rec != nil {
+		c.rec.Send(dst, tag, int64(bytes), simStart, c.clock)
+	}
 	c.world.boxes[dst].put(message{
 		src: c.rank, tag: tag, payload: payload, bytes: bytes, arrive: c.clock,
 		op: c.curOp, site: c.curSite,
@@ -454,6 +490,11 @@ func (c *Comm) sendRaw(dst, tag int, payload any, bytes int) {
 // cross-checks the collective stamp on the message against the collective
 // this rank is inside.
 func (c *Comm) recvRaw(src, tag int) message {
+	var wallStart int64
+	simStart := c.clock
+	if c.rec != nil {
+		wallStart = c.rec.Now()
+	}
 	msg, err := c.world.boxes[c.rank].take(src, tag, c)
 	if err != nil {
 		if errors.Is(err, errWorldAborted) {
@@ -466,6 +507,9 @@ func (c *Comm) recvRaw(src, tag int) message {
 	}
 	if msg.arrive > c.clock {
 		c.clock = msg.arrive
+	}
+	if c.rec != nil {
+		c.rec.Recv(msg.src, msg.tag, int64(msg.bytes), simStart, c.clock, wallStart)
 	}
 	return msg
 }

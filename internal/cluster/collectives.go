@@ -100,7 +100,7 @@ func segmentBytes[T any](seg []T) int {
 // for r-2^k, so its simulated cost is ~alpha*ceil(log2 P) — half the
 // depth of the baseline reduce+bcast tree.
 func (c *Comm) Barrier() {
-	c.beginColl("Barrier")
+	c.beginColl("Barrier", -1)
 	defer c.endColl()
 	tag := c.nextCollTag()
 	if c.baselineColl() {
@@ -118,7 +118,7 @@ func (c *Comm) Barrier() {
 // Bcast distributes root's value to every rank along a binomial tree and
 // returns it. Non-root ranks pass their (ignored) local v.
 func Bcast[T any](c *Comm, root int, v T) T {
-	c.beginColl("Bcast")
+	c.beginColl("Bcast", root)
 	defer c.endColl()
 	return bcastTree(c, root, c.nextCollTag(), v)
 }
@@ -128,7 +128,7 @@ func Bcast[T any](c *Comm, root int, v T) T {
 // (which callers should ignore). op must be associative and commutative;
 // it may mutate and return its first argument.
 func Reduce[T any](c *Comm, root int, v T, op func(a, b T) T) T {
-	c.beginColl("Reduce")
+	c.beginColl("Reduce", root)
 	defer c.endColl()
 	return reduceTree(c, root, c.nextCollTag(), v, op)
 }
@@ -141,7 +141,7 @@ func Reduce[T any](c *Comm, root int, v T, op func(a, b T) T) T {
 // bit-identical results on every rank); it may mutate and return its
 // first argument.
 func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
-	c.beginColl("Allreduce")
+	c.beginColl("Allreduce", -1)
 	defer c.endColl()
 	tag := c.nextCollTag()
 	size := c.Size()
@@ -179,7 +179,7 @@ func rdAllreduce[T any](c *Comm, tag int, v T, op func(a, b T) T) T {
 // binomial tree: the root absorbs O(log P) aggregated messages instead of
 // P-1 serial ones.
 func Gather[T any](c *Comm, root int, v T) []T {
-	c.beginColl("Gather")
+	c.beginColl("Gather", root)
 	defer c.endColl()
 	tag := c.nextCollTag()
 	if c.baselineColl() || c.Size() == 1 {
@@ -237,7 +237,7 @@ func gatherTree[T any](c *Comm, root, tag int, v T) []T {
 // doubling (log2 P rounds of block exchanges); otherwise it is a linear
 // gather to rank 0 followed by a tree broadcast.
 func Allgather[T any](c *Comm, v T) []T {
-	c.beginColl("Allgather")
+	c.beginColl("Allgather", -1)
 	defer c.endColl()
 	tag := c.nextCollTag()
 	size := c.Size()
@@ -280,7 +280,7 @@ func allgatherLinear[T any](c *Comm, tag int, v T) []T {
 // Parts ride a binomial tree: the root hands off halves instead of P-1
 // serial sends.
 func Scatter[T any](c *Comm, root int, parts []T) T {
-	c.beginColl("Scatter")
+	c.beginColl("Scatter", root)
 	defer c.endColl()
 	tag := c.nextCollTag()
 	size := c.Size()
@@ -363,7 +363,7 @@ func Alltoall[T any](c *Comm, parts []T) []T {
 	if len(parts) != size {
 		panic(fmt.Sprintf("cluster: Alltoall needs %d parts, got %d", size, len(parts)))
 	}
-	c.beginColl("Alltoall")
+	c.beginColl("Alltoall", -1)
 	defer c.endColl()
 	tag := c.nextCollTag()
 	out := make([]T, size)
@@ -402,7 +402,7 @@ func Alltoall[T any](c *Comm, parts []T) []T {
 // Scan computes the inclusive prefix reduction: rank r receives
 // op(v_0, ..., v_r). The chain is linear, as in a textbook MPI_Scan.
 func Scan[T any](c *Comm, v T, op func(a, b T) T) T {
-	c.beginColl("Scan")
+	c.beginColl("Scan", -1)
 	defer c.endColl()
 	tag := c.nextCollTag()
 	acc := v

@@ -1,16 +1,29 @@
 package cluster
 
+import "repro/internal/obs"
+
 // Probe reports whether a message matching (src, tag) is waiting, without
-// receiving it — MPI_Iprobe. src may be AnySource and tag AnyTag.
+// receiving it — MPI_Iprobe. src may be AnySource and tag AnyTag. With a
+// trace attached the poll is recorded as an instant event, so a polling
+// manager's duty cycle is visible on the timeline.
 func (c *Comm) Probe(src, tag int) bool {
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
-	defer box.mu.Unlock()
-	if box.nPending == 0 {
+	hit := box.probeLocked(src, tag)
+	box.mu.Unlock()
+	if c.rec != nil {
+		c.rec.Instant("probe", src, tag, 0, c.clock, obs.KV{K: "hit", V: boolKV(hit)})
+	}
+	return hit
+}
+
+// probeLocked is Probe's matching scan. Caller holds m.mu.
+func (m *mailbox) probeLocked(src, tag int) bool {
+	if m.nPending == 0 {
 		return false
 	}
 	if src != AnySource {
-		b := &box.bySrc[src]
+		b := &m.bySrc[src]
 		for i := b.head; i < len(b.items); i++ {
 			if tagMatches(tag, b.items[i].tag) {
 				return true
@@ -18,8 +31,8 @@ func (c *Comm) Probe(src, tag int) bool {
 		}
 		return false
 	}
-	for s := range box.bySrc {
-		b := &box.bySrc[s]
+	for s := range m.bySrc {
+		b := &m.bySrc[s]
 		for i := b.head; i < len(b.items); i++ {
 			if tagMatches(tag, b.items[i].tag) {
 				return true
@@ -29,19 +42,38 @@ func (c *Comm) Probe(src, tag int) bool {
 	return false
 }
 
+func boolKV(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
 // TryRecv receives a matching message if one is already waiting; ok is
 // false when none is pending (it never blocks). The manager of a dynamic
-// farm can use it to poll between other duties.
+// farm can use it to poll between other duties. A hit counts as a normal
+// receive in an attached trace; a miss is recorded as an instant probe.
 func TryRecv[T any](c *Comm, src, tag int) (v T, ok bool) {
 	box := c.world.boxes[c.rank]
+	simStart := c.clock
+	var wallStart int64
+	if c.rec != nil {
+		wallStart = c.rec.Now()
+	}
 	box.mu.Lock()
 	msg, ok := box.match(src, tag)
 	box.mu.Unlock()
 	if !ok {
+		if c.rec != nil {
+			c.rec.Instant("probe", src, tag, 0, c.clock, obs.KV{K: "hit", V: 0})
+		}
 		return v, false
 	}
 	if msg.arrive > c.clock {
 		c.clock = msg.arrive
+	}
+	if c.rec != nil {
+		c.rec.Recv(msg.src, msg.tag, int64(msg.bytes), simStart, c.clock, wallStart)
 	}
 	return msg.payload.(T), true
 }

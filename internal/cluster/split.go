@@ -17,7 +17,7 @@ import (
 // reductions before a global one (the hierarchy §2 alludes to with "local
 // reductions ... again at each multicore node").
 func (c *Comm) Split(color, key int) *SubComm {
-	c.beginColl("Split")
+	c.beginColl("Split", -1)
 	type entry struct{ Color, Key, Rank int }
 	mine := entry{color, key, c.rank}
 	all := Allgather(c, mine)
@@ -105,7 +105,7 @@ func RecvSub[T any](s *SubComm, src, tag int) T {
 
 // BarrierSub blocks until every group member has entered.
 func (s *SubComm) BarrierSub() {
-	s.parent.beginColl("BarrierSub")
+	s.parent.beginColl("BarrierSub", -1)
 	defer s.parent.endColl()
 	tag := s.nextCollTag()
 	subReduceTree(s, 0, tag, struct{}{}, func(a, _ struct{}) struct{} { return a })
@@ -114,21 +114,21 @@ func (s *SubComm) BarrierSub() {
 
 // BcastSub broadcasts root's value within the group.
 func BcastSub[T any](s *SubComm, root int, v T) T {
-	s.parent.beginColl("BcastSub")
+	s.parent.beginColl("BcastSub", root)
 	defer s.parent.endColl()
 	return subBcastTree(s, root, s.nextCollTag(), v)
 }
 
 // ReduceSub folds the group's contributions onto the group root.
 func ReduceSub[T any](s *SubComm, root int, v T, op func(a, b T) T) T {
-	s.parent.beginColl("ReduceSub")
+	s.parent.beginColl("ReduceSub", root)
 	defer s.parent.endColl()
 	return subReduceTree(s, root, s.nextCollTag(), v, op)
 }
 
 // AllreduceSub gives every group member the fully reduced value.
 func AllreduceSub[T any](s *SubComm, v T, op func(a, b T) T) T {
-	s.parent.beginColl("AllreduceSub")
+	s.parent.beginColl("AllreduceSub", -1)
 	defer s.parent.endColl()
 	tag := s.nextCollTag()
 	r := subReduceTree(s, 0, tag, v, op)
@@ -137,7 +137,7 @@ func AllreduceSub[T any](s *SubComm, v T, op func(a, b T) T) T {
 
 // GatherSub collects one value per group member onto the group root.
 func GatherSub[T any](s *SubComm, root int, v T) []T {
-	s.parent.beginColl("GatherSub")
+	s.parent.beginColl("GatherSub", root)
 	defer s.parent.endColl()
 	tag := s.nextCollTag()
 	if s.rank != root {

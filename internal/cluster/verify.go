@@ -36,15 +36,24 @@ func (w *World) verifyTimeout() time.Duration {
 	return 5 * time.Second
 }
 
-// beginColl marks this rank as inside the named collective and mirrors
-// the fact into the rank's mailbox for the deadlock dump.
-func (c *Comm) beginColl(op string) {
-	if !c.world.opts.Verify {
-		return
-	}
+// beginColl marks this rank as inside the named collective: the trace
+// recorder (when attached) stamps the span start, and in Verify mode the
+// op and user call site are mirrored into the rank's mailbox for the
+// deadlock dump. root is the collective's root rank (-1 for rootless
+// collectives). Nesting (e.g. Split's internal Allgather) records and
+// verifies only the outermost op.
+func (c *Comm) beginColl(op string, root int) {
 	c.collDepth++
 	if c.collDepth > 1 {
-		return // nested (e.g. Split's Allgather): outermost op wins
+		return // nested: outermost op wins
+	}
+	if c.rec != nil {
+		c.obsOp, c.obsRoot = op, root
+		c.obsSimStart = c.clock
+		c.obsWallStart = c.rec.Now()
+	}
+	if !c.world.opts.Verify {
+		return
 	}
 	c.curOp, c.curSite = op, callerSite()
 	b := c.world.boxes[c.rank]
@@ -54,13 +63,18 @@ func (c *Comm) beginColl(op string) {
 	b.mu.Unlock()
 }
 
-// endColl marks the rank as back in user code.
+// endColl marks the rank as back in user code, closing the trace span
+// opened by beginColl.
 func (c *Comm) endColl() {
-	if !c.world.opts.Verify {
-		return
-	}
 	c.collDepth--
 	if c.collDepth > 0 {
+		return
+	}
+	if c.rec != nil {
+		c.rec.Collective(c.obsOp, c.obsRoot, c.obsSimStart, c.clock, c.obsWallStart)
+		c.obsOp = ""
+	}
+	if !c.world.opts.Verify {
 		return
 	}
 	c.curOp, c.curSite = "", ""

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 )
 
 // Pair is one emitted key-value pair.
@@ -57,23 +58,33 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 		pairBytes = 16
 	}
 	size := c.Size()
+	rec := c.Obs()
 
 	// Map phase: bucket emissions by destination rank.
+	mapWall := rec.Now()
+	mapSim := c.Clock()
 	buckets := make([]map[K][]V, size)
 	for r := range buckets {
 		buckets[r] = make(map[K][]V)
 	}
+	var emitted int64
 	emit := func(k K, v V) {
 		dst := int(hashKey(k) % uint64(size))
 		buckets[dst][k] = append(buckets[dst][k], v)
+		emitted++
 	}
 	for _, in := range inputs {
 		j.Map(in, emit)
 	}
+	rec.PhaseSpan("mr.map", mapSim, c.Clock(), mapWall,
+		obs.KV{K: "inputs", V: int64(len(inputs))}, obs.KV{K: "pairs", V: emitted})
 
 	// Optional combine phase: fold each key's local values to one,
 	// reusing each value slice's backing array for the folded result.
 	if j.Combine != nil {
+		combWall := rec.Now()
+		combSim := c.Clock()
+		var kept int64
 		for _, b := range buckets {
 			for k, vs := range b {
 				if len(vs) > 1 {
@@ -81,7 +92,14 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 					b[k] = append(vs[:0], cv)
 				}
 			}
+			if rec.Enabled() {
+				for _, vs := range b {
+					kept += int64(len(vs))
+				}
+			}
 		}
+		rec.PhaseSpan("mr.combine", combSim, c.Clock(), combWall,
+			obs.KV{K: "pairs_in", V: emitted}, obs.KV{K: "pairs_out", V: kept})
 	}
 
 	// Aggregate phase: total exchange of pair batches.
@@ -102,6 +120,8 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 	incoming := cluster.Alltoall(c, parts)
 
 	// Collate phase: group received pairs by key.
+	collWall := rec.Now()
+	collSim := c.Clock()
 	nIn := 0
 	for _, bt := range incoming {
 		nIn += len(bt.pairs)
@@ -112,12 +132,22 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 			grouped[p.Key] = append(grouped[p.Key], p.Value)
 		}
 	}
+	rec.PhaseSpan("mr.collate", collSim, c.Clock(), collWall,
+		obs.KV{K: "pairs", V: int64(nIn)}, obs.KV{K: "keys", V: int64(len(grouped))})
+	// Per-reducer skew marker: this rank's share of the shuffled keys and
+	// bytes, the quantity whose max/mean over ranks is the shuffle skew.
+	rec.Instant("mr.skew", -1, 0, int64(nIn*pairBytes), c.Clock(),
+		obs.KV{K: "keys", V: int64(len(grouped))}, obs.KV{K: "pairs", V: int64(nIn)})
 
 	// Reduce phase.
+	redWall := rec.Now()
+	redSim := c.Clock()
 	out := make(map[K]R, len(grouped))
 	for k, vs := range grouped {
 		out[k] = j.Reduce(k, vs)
 	}
+	rec.PhaseSpan("mr.reduce", redSim, c.Clock(), redWall,
+		obs.KV{K: "keys", V: int64(len(grouped))})
 	return out
 }
 

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event format (the subset
+// chrome://tracing and Perfetto both accept): "X" complete events carry
+// ts+dur, "i" instants carry a scope, "M" metadata names the tracks.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome emits the trace as Chrome trace_event JSON on the simulated
+// timeline: one track (tid) per rank, ts/dur in simulated microseconds.
+// The output is a pure function of the recorded simulated events — wall
+// times never appear — so two runs of the same deterministic program
+// produce byte-identical files. Open the file in chrome://tracing or
+// https://ui.perfetto.dev.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	bw := &errWriter{w: w}
+	bw.writeString("{\"traceEvents\":[\n")
+	first := true
+	emit := func(ev chromeEvent) {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			bw.err = err
+			return
+		}
+		if !first {
+			bw.writeString(",\n")
+		}
+		first = false
+		bw.write(data)
+	}
+	for r := range t.recs {
+		emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+		emit(chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"sort_index": r},
+		})
+	}
+	for r, rec := range t.recs {
+		for _, ev := range sortedForTimeline(rec.events) {
+			ce := chromeEvent{Name: ev.Op, Ph: "X", Pid: 0, Tid: r, Ts: ev.SimStart * 1e6}
+			if ev.Instant {
+				ce.Ph = "i"
+				ce.S = "t"
+			} else {
+				dur := (ev.SimEnd - ev.SimStart) * 1e6
+				ce.Dur = &dur
+			}
+			args := map[string]any{}
+			if ev.Peer >= 0 {
+				args["peer"] = ev.Peer
+			}
+			if ev.Tag != 0 {
+				args["tag"] = ev.Tag
+			}
+			if ev.Bytes > 0 {
+				args["bytes"] = ev.Bytes
+			}
+			for _, kv := range ev.KV {
+				args[kv.K] = kv.V
+			}
+			if len(args) > 0 {
+				ce.Args = args
+			}
+			emit(ce)
+		}
+	}
+	bw.writeString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return bw.err
+}
+
+// sortedForTimeline orders one rank's events so that viewers reconstruct
+// the nesting unambiguously: by start time, then enclosing spans before
+// enclosed ones (longer duration first), then recording order. The sort
+// is a deterministic function of simulated times only.
+func sortedForTimeline(events []Event) []Event {
+	out := append([]Event(nil), events...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].SimStart != out[j].SimStart {
+			return out[i].SimStart < out[j].SimStart
+		}
+		return out[i].SimEnd > out[j].SimEnd
+	})
+	return out
+}
+
+// errWriter folds write errors so the exporter body stays linear.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) write(p []byte) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = e.w.Write(p)
+}
+
+func (e *errWriter) writeString(s string) { e.write([]byte(s)) }

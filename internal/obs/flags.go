@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// CLI is the shared -trace/-metrics/-obs-summary flag set every exhibit
+// binary exposes. Bind it before flag.Parse, run the workload with a
+// Trace when Enabled(), then Emit the artifacts.
+type CLI struct {
+	TracePath   string
+	MetricsPath string
+	Summary     bool
+}
+
+// BindCLI registers the observability flags on the default flag set.
+func BindCLI() *CLI {
+	o := &CLI{}
+	flag.StringVar(&o.TracePath, "trace", "", "write a Chrome trace_event JSON timeline to this file (open in chrome://tracing or Perfetto)")
+	flag.StringVar(&o.MetricsPath, "metrics", "", "write per-rank counters and the traffic matrix as JSON to this file")
+	flag.BoolVar(&o.Summary, "obs-summary", false, "print the per-rank imbalance summary after the run")
+	return o
+}
+
+// Enabled reports whether any observability output was requested.
+func (o *CLI) Enabled() bool {
+	return o.TracePath != "" || o.MetricsPath != "" || o.Summary
+}
+
+// Emit writes the requested artifacts from t. A nil trace (the workload
+// path that was taken records nothing) is a no-op.
+func (o *CLI) Emit(t *Trace) error {
+	if t == nil || !o.Enabled() {
+		return nil
+	}
+	if o.TracePath != "" {
+		if err := writeFileWith(o.TracePath, t.WriteChrome); err != nil {
+			return fmt.Errorf("obs: writing trace: %w", err)
+		}
+		fmt.Printf("obs: trace written to %s\n", o.TracePath)
+	}
+	if o.MetricsPath != "" {
+		if err := writeFileWith(o.MetricsPath, t.WriteMetrics); err != nil {
+			return fmt.Errorf("obs: writing metrics: %w", err)
+		}
+		fmt.Printf("obs: metrics written to %s\n", o.MetricsPath)
+	}
+	if o.Summary {
+		t.WriteSummary(os.Stdout)
+	}
+	return nil
+}
+
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// OpMetrics aggregates one operation name on one rank.
+type OpMetrics struct {
+	Op     string  `json:"op"`
+	Count  int64   `json:"count"`
+	SimS   float64 `json:"sim_s"`
+	WallNs int64   `json:"wall_ns"`
+}
+
+// RankMetrics is one rank's flat counter view.
+type RankMetrics struct {
+	Rank      int   `json:"rank"`
+	MsgsSent  int64 `json:"msgs_sent"`
+	BytesSent int64 `json:"bytes_sent"`
+	MsgsRecv  int64 `json:"msgs_recv"`
+	BytesRecv int64 `json:"bytes_recv"`
+	// Collectives totals the collective invocations (Barrier..Scan).
+	Collectives int64 `json:"collectives"`
+	// SimTotal is the rank's simulated finish time (max span end);
+	// SimBusy subtracts the time the rank spent blocked in receives.
+	SimTotal       float64     `json:"sim_total_s"`
+	SimBusy        float64     `json:"sim_busy_s"`
+	RecvWaitSim    float64     `json:"recv_wait_sim_s"`
+	RecvWaitWallNs int64       `json:"recv_wait_wall_ns"`
+	BarrierWaitSim float64     `json:"barrier_wait_sim_s"`
+	Ops            []OpMetrics `json:"ops,omitempty"`
+}
+
+// Metrics is the flat whole-trace metrics document the -metrics flag
+// writes: totals, per-rank counters, and the rank×rank traffic matrices.
+type Metrics struct {
+	Ranks       int     `json:"ranks"`
+	Events      int     `json:"events"`
+	TotalMsgs   int64   `json:"total_msgs"`
+	TotalBytes  int64   `json:"total_bytes"`
+	SimMakespan float64 `json:"sim_makespan_s"`
+	// BusyImbalance is max/mean per-rank SimBusy (1.0 = perfectly even;
+	// 0 when nothing ran).
+	BusyImbalance float64       `json:"busy_imbalance"`
+	PerRank       []RankMetrics `json:"per_rank"`
+	// TrafficBytes[src][dst] / TrafficMsgs[src][dst] are payload bytes and
+	// message counts sent from src to dst.
+	TrafficBytes [][]int64 `json:"traffic_bytes"`
+	TrafficMsgs  [][]int64 `json:"traffic_msgs"`
+}
+
+// Metrics computes the flat metrics view. Call only after the traced
+// program finished.
+func (t *Trace) Metrics() *Metrics {
+	m := &Metrics{Ranks: len(t.recs)}
+	m.TrafficBytes = make([][]int64, len(t.recs))
+	m.TrafficMsgs = make([][]int64, len(t.recs))
+	busySum, busyMax := 0.0, 0.0
+	for r, rec := range t.recs {
+		m.Events += len(rec.events)
+		m.TrafficBytes[r] = append([]int64(nil), rec.sentBytesTo...)
+		m.TrafficMsgs[r] = append([]int64(nil), rec.sentMsgsTo...)
+		rm := RankMetrics{
+			Rank:           r,
+			MsgsSent:       rec.ctr.MsgsSent,
+			BytesSent:      rec.ctr.BytesSent,
+			MsgsRecv:       rec.ctr.MsgsRecv,
+			BytesRecv:      rec.ctr.BytesRecv,
+			RecvWaitSim:    rec.ctr.RecvWaitSim,
+			RecvWaitWallNs: rec.ctr.RecvWaitWall,
+			BarrierWaitSim: rec.ctr.OpSim["Barrier"],
+		}
+		for _, ev := range rec.events {
+			if ev.SimEnd > rm.SimTotal {
+				rm.SimTotal = ev.SimEnd
+			}
+		}
+		rm.SimBusy = rm.SimTotal - rm.RecvWaitSim
+		if rm.SimBusy < 0 {
+			rm.SimBusy = 0
+		}
+		ops := make([]string, 0, len(rec.ctr.OpCount))
+		for op := range rec.ctr.OpCount {
+			ops = append(ops, op)
+		}
+		sort.Strings(ops)
+		for _, op := range ops {
+			rm.Ops = append(rm.Ops, OpMetrics{
+				Op: op, Count: rec.ctr.OpCount[op],
+				SimS: rec.ctr.OpSim[op], WallNs: rec.ctr.OpWall[op],
+			})
+			if CollectiveOps[op] {
+				rm.Collectives += rec.ctr.OpCount[op]
+			}
+		}
+		m.TotalMsgs += rm.MsgsSent
+		m.TotalBytes += rm.BytesSent
+		if rm.SimTotal > m.SimMakespan {
+			m.SimMakespan = rm.SimTotal
+		}
+		busySum += rm.SimBusy
+		if rm.SimBusy > busyMax {
+			busyMax = rm.SimBusy
+		}
+		m.PerRank = append(m.PerRank, rm)
+	}
+	if busySum > 0 {
+		m.BusyImbalance = busyMax / (busySum / float64(len(t.recs)))
+	}
+	return m
+}
+
+// WriteMetrics writes the metrics document as indented JSON.
+func (t *Trace) WriteMetrics(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Metrics())
+}

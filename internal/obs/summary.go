@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteSummary prints the terminal digest the -obs-summary flag shows:
+// the headline totals plus the top imbalance signals — who is busiest
+// relative to the mean, who waited longest at barriers, and the fattest
+// edge of the rank×rank traffic matrix.
+func (t *Trace) WriteSummary(w io.Writer) {
+	m := t.Metrics()
+	fmt.Fprintf(w, "obs: %d ranks, %d events, %d msgs, %s, sim makespan %s\n",
+		m.Ranks, m.Events, m.TotalMsgs, fmtBytes(m.TotalBytes), fmtSeconds(m.SimMakespan))
+
+	if m.BusyImbalance > 0 {
+		busiest := 0
+		for r, rm := range m.PerRank {
+			if rm.SimBusy > m.PerRank[busiest].SimBusy {
+				busiest = r
+			}
+		}
+		fmt.Fprintf(w, "  busy time: max/mean = %.2f (rank %d busiest: %s busy of %s total)\n",
+			m.BusyImbalance, busiest,
+			fmtSeconds(m.PerRank[busiest].SimBusy), fmtSeconds(m.PerRank[busiest].SimTotal))
+	}
+
+	waitRank, waitMax := -1, 0.0
+	barRank, barMax := -1, 0.0
+	for r, rm := range m.PerRank {
+		if rm.RecvWaitSim > waitMax {
+			waitRank, waitMax = r, rm.RecvWaitSim
+		}
+		if rm.BarrierWaitSim > barMax {
+			barRank, barMax = r, rm.BarrierWaitSim
+		}
+	}
+	if barRank >= 0 {
+		fmt.Fprintf(w, "  longest barrier wait: rank %d, %s sim total\n", barRank, fmtSeconds(barMax))
+	}
+	if waitRank >= 0 {
+		fmt.Fprintf(w, "  longest recv wait: rank %d, %s sim total\n", waitRank, fmtSeconds(waitMax))
+	}
+
+	src, dst, edge := -1, -1, int64(0)
+	for s := range m.TrafficBytes {
+		for d, b := range m.TrafficBytes[s] {
+			if b > edge {
+				src, dst, edge = s, d, b
+			}
+		}
+	}
+	if src >= 0 {
+		fmt.Fprintf(w, "  fattest edge: rank %d -> rank %d, %s in %d msgs\n",
+			src, dst, fmtBytes(edge), m.TrafficMsgs[src][dst])
+	}
+}
+
+func fmtSeconds(s float64) string {
+	switch {
+	case s == 0:
+		return "0s"
+	case s < 1e-3:
+		return fmt.Sprintf("%.1fus", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", s)
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

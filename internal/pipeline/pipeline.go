@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/geo"
 	"repro/internal/nycgen"
+	"repro/internal/obs"
 	"repro/internal/rdd"
 	"repro/internal/viz"
 )
@@ -54,7 +55,10 @@ func CrimePipeline(ctx *rdd.Context, dir string, parts int) (*CrimeReport, error
 	if parts < 1 {
 		parts = 4
 	}
+	rec := ctx.Recorder()
+
 	// Stage 1: ingest + aggregate the two arrest datasets.
+	ingestWall := rec.Now()
 	historic, err := rdd.TextFile(ctx, dir+"/arrests_historic.csv", parts)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %w", err)
@@ -64,8 +68,10 @@ func CrimePipeline(ctx *rdd.Context, dir string, parts int) (*CrimeReport, error
 		return nil, fmt.Errorf("pipeline: %w", err)
 	}
 	lines := rdd.Union(historic, current)
+	rec.WallSpan("pipeline.ingest", ingestWall)
 
 	// Stage 2: parse + clean.
+	cleanWall := rec.Now()
 	parsed := rdd.FlatMap(lines, func(line string) []nycgen.Arrest {
 		if a, ok := nycgen.ParseArrest(line); ok {
 			return []nycgen.Arrest{a}
@@ -75,8 +81,11 @@ func CrimePipeline(ctx *rdd.Context, dir string, parts int) (*CrimeReport, error
 	total := rdd.Count(parsed)
 	clean := rdd.Filter(parsed, nycgen.Arrest.Valid).Cache()
 	cleanCount := rdd.Count(clean)
+	rec.WallSpan("pipeline.clean", cleanWall,
+		obs.KV{K: "rows_in", V: int64(total)}, obs.KV{K: "rows_out", V: int64(cleanCount)})
 
 	// Stage 3: load the small dimension tables (broadcast-style).
+	dimWall := rec.Now()
 	boundLines, err := rdd.TextFile(ctx, dir+"/nta_boundaries.csv", 1)
 	if err != nil {
 		return nil, fmt.Errorf("pipeline: %w", err)
@@ -101,9 +110,12 @@ func CrimePipeline(ctx *rdd.Context, dir string, parts int) (*CrimeReport, error
 			population[id] = pop
 		}
 	}
+	rec.WallSpan("pipeline.dimensions", dimWall,
+		obs.KV{K: "boundaries", V: int64(len(boundaries))}, obs.KV{K: "populations", V: int64(len(population))})
 
 	// Stage 4 (analysis #1): spatial join + per-NTA aggregation +
 	// per-100k normalisation against the population table.
+	rateWall := rec.Now()
 	located := rdd.FlatMap(clean, func(a nycgen.Arrest) []rdd.Pair[string, int] {
 		if id, ok := index.Locate(geo.Point{X: a.X, Y: a.Y}); ok {
 			return []rdd.Pair[string, int]{{Key: id, Value: 1}}
@@ -125,8 +137,10 @@ func CrimePipeline(ctx *rdd.Context, dir string, parts int) (*CrimeReport, error
 	for _, n := range arrestsPerNTA {
 		locatedCount += n
 	}
+	rec.WallSpan("pipeline.rates", rateWall, obs.KV{K: "located", V: int64(locatedCount)})
 
 	// Stage 5 (analysis #2): offense mix.
+	offenseWall := rec.Now()
 	offensePairs := rdd.Map(clean, func(a nycgen.Arrest) rdd.Pair[string, int] {
 		return rdd.Pair[string, int]{Key: a.Offense, Value: 1}
 	})
@@ -141,8 +155,10 @@ func CrimePipeline(ctx *rdd.Context, dir string, parts int) (*CrimeReport, error
 		}
 		return offenses[i].Key < offenses[j].Key
 	})
+	rec.WallSpan("pipeline.offenses", offenseWall, obs.KV{K: "offense_types", V: int64(len(offenses))})
 
 	// Stage 6 (analysis #3): monthly trend from the date column.
+	monthWall := rec.Now()
 	monthPairs := rdd.FlatMap(clean, func(a nycgen.Arrest) []rdd.Pair[string, int] {
 		f := strings.Split(a.Date, "-")
 		if len(f) != 3 {
@@ -151,6 +167,7 @@ func CrimePipeline(ctx *rdd.Context, dir string, parts int) (*CrimeReport, error
 		return []rdd.Pair[string, int]{{Key: f[1], Value: 1}}
 	})
 	monthly := rdd.CollectMap(rdd.ReduceByKey(monthPairs, func(a, b int) int { return a + b }))
+	rec.WallSpan("pipeline.monthly", monthWall, obs.KV{K: "months", V: int64(len(monthly))})
 
 	return &CrimeReport{
 		RatePer100k:   rates,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/obs"
 	"repro/internal/prng"
 	"repro/internal/rdd"
 )
@@ -74,11 +75,16 @@ type WeatherStat struct {
 // and pace per condition, demonstrating a second rdd workflow (join +
 // two-level aggregation).
 func TripsPipeline(ctx *rdd.Context, trips []Trip, weather []Weather, parts int) []WeatherStat {
+	rec := ctx.Recorder()
+	joinWall := rec.Now()
 	tripDS := rdd.KeyBy(rdd.Parallelize(ctx, trips, parts), func(t Trip) int { return t.Day })
 	weatherDS := rdd.KeyBy(rdd.Parallelize(ctx, weather, parts), func(w Weather) int { return w.Day })
 	joined := rdd.Join(tripDS, weatherDS)
+	rec.WallSpan("trips.join", joinWall,
+		obs.KV{K: "trips", V: int64(len(trips))}, obs.KV{K: "days", V: int64(len(weather))})
 
 	// Per-condition accumulation: trips, minutes, km.
+	aggWall := rec.Now()
 	type agg struct {
 		Trips   int
 		Minutes float64
@@ -114,6 +120,7 @@ func TripsPipeline(ctx *rdd.Context, trips []Trip, weather []Weather, parts int)
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Condition < out[j].Condition })
+	rec.WallSpan("trips.aggregate", aggWall, obs.KV{K: "conditions", V: int64(len(out))})
 	return out
 }
 

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/prng"
 )
@@ -36,6 +37,43 @@ type Context struct {
 	shuffles int64
 	shufRecs int64
 	tasks    int64
+
+	// rec, when attached, records one stage span per action with the
+	// tasks/shuffles/records the action materialized. Recording happens on
+	// the goroutine that calls the action, so while a recorder is attached
+	// actions must not run concurrently (the pipelines here are
+	// sequential drivers).
+	rec *obs.Recorder
+}
+
+// SetRecorder attaches an observability recorder to the context (nil
+// detaches). See the rec field for the concurrency contract.
+func (c *Context) SetRecorder(r *obs.Recorder) { c.rec = r }
+
+// Recorder returns the attached recorder (nil when observability is off).
+func (c *Context) Recorder() *obs.Recorder { return c.rec }
+
+// beginStage snapshots the engine counters and returns a closure that
+// records the action's stage span with the deltas: partition tasks run,
+// shuffles crossed, records shuffled, and records the action returned.
+func (c *Context) beginStage(op string) func(records int64) {
+	if c.rec == nil {
+		return func(int64) {}
+	}
+	wall := c.rec.Now()
+	c.mu.Lock()
+	shuf0, recs0, tasks0 := c.shuffles, c.shufRecs, c.tasks
+	c.mu.Unlock()
+	return func(records int64) {
+		c.mu.Lock()
+		dShuf, dRecs, dTasks := c.shuffles-shuf0, c.shufRecs-recs0, c.tasks-tasks0
+		c.mu.Unlock()
+		c.rec.WallSpan(op, wall,
+			obs.KV{K: "tasks", V: dTasks},
+			obs.KV{K: "shuffles", V: dShuf},
+			obs.KV{K: "shuffled_records", V: dRecs},
+			obs.KV{K: "records", V: records})
+	}
 }
 
 // NewContext returns a Context with default parallelism.
@@ -426,26 +464,31 @@ func SortBy[T any](d *Dataset[T], less func(a, b T) bool) *Dataset[T] {
 // Collect evaluates the dataset and returns all elements in partition
 // order.
 func Collect[T any](d *Dataset[T]) []T {
+	end := d.ctx.beginStage("rdd.Collect")
 	parts := collectParts(d)
 	var out []T
 	for _, p := range parts {
 		out = append(out, p...)
 	}
+	end(int64(len(out)))
 	return out
 }
 
 // Count returns the number of elements.
 func Count[T any](d *Dataset[T]) int {
+	end := d.ctx.beginStage("rdd.Count")
 	parts := collectParts(d)
 	n := 0
 	for _, p := range parts {
 		n += len(p)
 	}
+	end(int64(n))
 	return n
 }
 
 // Reduce folds all elements with op; ok is false for an empty dataset.
 func Reduce[T any](d *Dataset[T], op func(T, T) T) (result T, ok bool) {
+	defer d.ctx.beginStage("rdd.Reduce")(int64(1))
 	parts := collectParts(d)
 	first := true
 	for _, p := range parts {

@@ -6,7 +6,10 @@
 // imbalance; the dynamic manager-worker farm trades messages for balance.
 package taskfarm
 
-import "repro/internal/cluster"
+import (
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
 
 // Mode selects a static assignment shape.
 type Mode int
@@ -94,9 +97,14 @@ func RunStatic[R any](c *cluster.Comm, m int, mode Mode, exec func(task int) R) 
 		Task  int
 		Value R
 	}
+	rec := c.Obs()
 	var local []tr
 	for _, t := range StaticTasks(m, c.Size(), c.Rank(), mode) {
-		local = append(local, tr{t, exec(t)})
+		wall := rec.Now()
+		sim := c.Clock()
+		v := exec(t)
+		rec.PhaseSpan("farm.task", sim, c.Clock(), wall, obs.KV{K: "task", V: int64(t)})
+		local = append(local, tr{t, v})
 	}
 	gathered := cluster.Gather(c, 0, local)
 	report := Report{}
@@ -132,9 +140,13 @@ func RunDynamic[R any](c *cluster.Comm, m int, exec func(task int) R) ([]R, Repo
 		Value R
 	}
 	if c.Size() == 1 {
+		rec := c.Obs()
 		results := make([]R, m)
 		for t := 0; t < m; t++ {
+			wall := rec.Now()
+			sim := c.Clock()
 			results[t] = exec(t)
+			rec.PhaseSpan("farm.task", sim, c.Clock(), wall, obs.KV{K: "task", V: int64(t)})
 		}
 		return results, Report{PerRank: []int{m}}
 	}
@@ -165,14 +177,23 @@ func RunDynamic[R any](c *cluster.Comm, m int, exec func(task int) R) ([]R, Repo
 		}
 		return results, Report{PerRank: perRank}
 	}
-	// Worker loop.
+	// Worker loop. With a trace attached, the gap between asking for work
+	// and receiving an assignment is recorded as a farm.wait span (the
+	// worker's idle time), and each execution as a farm.task span.
+	rec := c.Obs()
 	for {
+		waitWall := rec.Now()
+		waitSim := c.Clock()
 		cluster.Send(c, 0, tagRequest, "req")
 		task := cluster.Recv[int](c, 0, tagAssign)
+		rec.PhaseSpan("farm.wait", waitSim, c.Clock(), waitWall)
 		if task < 0 {
 			return nil, Report{}
 		}
+		taskWall := rec.Now()
+		taskSim := c.Clock()
 		v := exec(task)
+		rec.PhaseSpan("farm.task", taskSim, c.Clock(), taskWall, obs.KV{K: "task", V: int64(task)})
 		cluster.Send(c, 0, tagResult, tr{task, v})
 	}
 }

@@ -15,6 +15,7 @@ cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
 OUT="BENCH_cluster.json"
+OBS_OUT="BENCH_obs_metrics.json"
 
 case "$MODE" in
 --short | short)
@@ -22,6 +23,7 @@ case "$MODE" in
 	CLUSTER_RE='BenchmarkPingPong|BenchmarkMessageRate|BenchmarkCollectives/(Barrier|Allreduce)/'
 	ROOT_RE='BenchmarkC8TaskFarm'
 	OUT="out/BENCH_cluster.short.json"
+	OBS_OUT="out/BENCH_obs_metrics.short.json"
 	;;
 full | --full)
 	BENCHTIME=1s
@@ -48,19 +50,23 @@ awk -v host="$(uname -sm)" -v gover="$(go version | awk '{print $3}')" \
 	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 /^Benchmark/ {
 	name = $1; sub(/-[0-9]+$/, "", name)
-	ns = ""; allocs = ""; simus = ""; shuffle = ""
+	ns = ""; allocs = ""; simus = ""; shuffle = ""; msgs = ""; bytes = ""
 	for (i = 3; i < NF; i += 2) {
 		v = $i; u = $(i + 1)
 		if (u == "ns/op") ns = v
 		else if (u == "allocs/op") allocs = v
 		else if (u == "sim-us") simus = v
 		else if (u == "shuffle-bytes") shuffle = v
+		else if (u == "msgs/op") msgs = v
+		else if (u == "bytes/op") bytes = v
 	}
 	if (ns == "") next
 	line = sprintf("    {\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
 	if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
 	if (simus != "") line = line sprintf(", \"sim_us\": %s", simus)
 	if (shuffle != "") line = line sprintf(", \"shuffle_bytes\": %s", shuffle)
+	if (msgs != "") line = line sprintf(", \"msgs_per_op\": %s", msgs)
+	if (bytes != "") line = line sprintf(", \"bytes_per_op\": %s", bytes)
 	rows[n++] = line "}"
 }
 END {
@@ -69,4 +75,18 @@ END {
 	printf "  ]\n}\n"
 }' "$TMP" >"$OUT"
 
-echo "bench.sh: wrote $OUT ($(grep -c '"name"' "$OUT") benchmarks)"
+COUNT="$(grep -c '"name"' "$OUT" || true)"
+if [ "$COUNT" -eq 0 ]; then
+	echo "bench.sh: ERROR: parsed zero benchmark lines out of the go test output" >&2
+	echo "bench.sh: the benchmark regexes matched nothing or the output format changed" >&2
+	exit 1
+fi
+echo "bench.sh: wrote $OUT ($COUNT benchmarks)"
+
+# Archive the observability metrics for the flagship cluster exhibit next
+# to the benchmark baseline, so traffic-matrix drift is tracked alongside
+# timing drift.
+echo "== obs metrics archive (knn mapreduce, P=4)"
+go run ./cmd/knn -variant mapreduce -ranks 4 -n 2000 -q 500 -metrics "$OBS_OUT" >/dev/null
+go run ./cmd/peachy obs-lint "$OBS_OUT"
+echo "bench.sh: wrote $OBS_OUT"

@@ -25,6 +25,12 @@ mkdir -p out
 go run ./cmd/peachyvet -json ./... > out/peachyvet.json
 echo "wrote out/peachyvet.json"
 
+echo "== observability smoke (trace + metrics + obs-lint)"
+mkdir -p out
+go run ./cmd/knn -variant mapreduce -ranks 4 -n 2000 -q 500 \
+	-trace out/obs_smoke_trace.json -metrics out/obs_smoke_metrics.json >/dev/null
+go run ./cmd/peachy obs-lint out/obs_smoke_trace.json out/obs_smoke_metrics.json
+
 echo "== analyzer micro-benchmark (one pass)"
 go test -run '^$' -bench BenchmarkLoadAnalyzeRepo -benchtime 1x ./internal/analysis
 
