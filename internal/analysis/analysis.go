@@ -14,6 +14,15 @@
 //	            rank-guarded early return)
 //	sendrecv   — Send with a constant tag that no Recv in the package
 //	            could ever match
+//	useaftersend — a sent or collectively-shared buffer (or an alias of
+//	            it) is written before a happens-after sync point; the
+//	            in-process transport passes pointers, so the receiver
+//	            observes the mutation
+//	recvalias  — received data lands in a buffer still in flight, or two
+//	            receives land in provably overlapping regions
+//	wiresafe   — payload types a network transport could not encode
+//	            (channels, funcs, sync types, unexported fields) and
+//	            missing/shallow CloneWire implementations
 //	capture    — writes to captured outer variables inside World.Run /
 //	            pool-worker closures that are not rank-guarded or
 //	            rank-indexed (shared-memory leaks across "ranks")
@@ -50,7 +59,12 @@ func (f Finding) String() string {
 // deadlock rules are interprocedural: they analyze per-function
 // communication summaries propagated over the unit's call graph (see
 // summary.go) rather than single function bodies.
-var AllRules = []string{"collective", "sendrecv", "protocol", "deadlock", "capture", "lockcopy", "rawgo"}
+// The ownership and wire-safety rules (useaftersend, recvalias,
+// wiresafe) are likewise interprocedural: they combine the communication
+// summaries with per-function mutation summaries (mutation.go) and a
+// type-recursive encodability lattice (encodable.go).
+var AllRules = []string{"collective", "sendrecv", "protocol", "deadlock",
+	"useaftersend", "recvalias", "wiresafe", "capture", "lockcopy", "rawgo"}
 
 // Config selects which rules run and where rawgo is exempt.
 type Config struct {
@@ -99,13 +113,16 @@ func (r *reporter) report(rule string, pos token.Pos, format string, args ...any
 type checkFunc func(u *Unit, r *reporter)
 
 var checks = map[string]checkFunc{
-	"collective": checkCollective,
-	"sendrecv":   checkSendRecv,
-	"protocol":   checkProtocol,
-	"deadlock":   checkDeadlock,
-	"capture":    checkCapture,
-	"lockcopy":   checkLockCopy,
-	"rawgo":      checkRawGo,
+	"collective":   checkCollective,
+	"sendrecv":     checkSendRecv,
+	"protocol":     checkProtocol,
+	"deadlock":     checkDeadlock,
+	"useaftersend": checkUseAfterSend,
+	"recvalias":    checkRecvAlias,
+	"wiresafe":     checkWireSafe,
+	"capture":      checkCapture,
+	"lockcopy":     checkLockCopy,
+	"rawgo":        checkRawGo,
 }
 
 // Analyze runs the enabled rules over one package unit. Load errors
@@ -120,7 +137,8 @@ func Analyze(u *Unit, cfg Config) []Finding {
 		if !cfg.enabled(name) {
 			continue
 		}
-		if name == "lockcopy" || name == "capture" {
+		switch name {
+		case "lockcopy", "capture", "useaftersend", "recvalias", "wiresafe":
 			u.ensureTypes() // these rules consult type info where available
 		}
 		checks[name](u, r)

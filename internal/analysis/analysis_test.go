@@ -140,6 +140,9 @@ func TestMainExitCodes(t *testing.T) {
 		fixtureDir("sendrecv"),
 		fixtureDir("protocol"),
 		fixtureDir("deadlock"),
+		fixtureDir("useaftersend"),
+		fixtureDir("recvalias"),
+		fixtureDir("wiresafe"),
 		fixtureDir("capture"),
 		fixtureDir("lockcopy"),
 		fixtureDir("rawgo"),

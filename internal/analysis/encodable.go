@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// This file computes the "encodability" lattice behind the wiresafe rule:
+// a type-recursive verdict on whether a payload value can cross a real
+// wire once the transport leaves the shared address space (ROADMAP item
+// 1, the pluggable Device). The in-process transport passes pointers, so
+// it happily "delivers" channels, functions, sync primitives and structs
+// whose fields no codec can see — all of which would fail (or silently
+// truncate) under a gob-style network device. Verdicts are cached per
+// unit; recursive types are assumed safe at the back-edge, matching how
+// encoders handle them.
+
+// wireClass is the three-point lattice of the encodability analysis.
+type wireClass uint8
+
+const (
+	// wireOK: every reachable component is encodable.
+	wireOK wireClass = iota
+	// wireBad: the type provably contains an unencodable component.
+	wireBad
+	// wireUnknown: resolution stopped (type parameter, interface,
+	// unresolved cross-package name). Unknown never reports.
+	wireUnknown
+)
+
+// wireVerdict pairs the class with a human-readable reason chain for bad
+// verdicts, e.g. "field Pairs → chan int".
+type wireVerdict struct {
+	class  wireClass
+	reason string
+}
+
+// wireSafety classifies one type, memoized on the unit.
+func (u *Unit) wireSafety(t types.Type) wireVerdict {
+	if t == nil {
+		return wireVerdict{class: wireUnknown}
+	}
+	if u.wireCache == nil {
+		u.wireCache = map[types.Type]wireVerdict{}
+	}
+	return u.wireWalk(t, map[types.Type]bool{})
+}
+
+func (u *Unit) wireWalk(t types.Type, visiting map[types.Type]bool) wireVerdict {
+	if v, ok := u.wireCache[t]; ok {
+		return v
+	}
+	if visiting[t] {
+		// Recursive type: the cycle itself is encodable; any bad
+		// component elsewhere in the type still surfaces.
+		return wireVerdict{class: wireOK}
+	}
+	visiting[t] = true
+	v := u.wireWalkUncached(t, visiting)
+	delete(visiting, t)
+	u.wireCache[t] = v
+	return v
+}
+
+func (u *Unit) wireWalkUncached(t types.Type, visiting map[types.Type]bool) wireVerdict {
+	switch x := t.(type) {
+	case *types.Basic:
+		switch x.Kind() {
+		case types.UnsafePointer:
+			return wireVerdict{class: wireBad, reason: "unsafe.Pointer"}
+		case types.Invalid:
+			return wireVerdict{class: wireUnknown}
+		}
+		return wireVerdict{class: wireOK}
+	case *types.Chan:
+		return wireVerdict{class: wireBad, reason: "channel " + x.String()}
+	case *types.Signature:
+		return wireVerdict{class: wireBad, reason: "function value"}
+	case *types.Pointer:
+		return prefixBad(u.wireWalk(x.Elem(), visiting), "pointee ")
+	case *types.Slice:
+		return prefixBad(u.wireWalk(x.Elem(), visiting), "element ")
+	case *types.Array:
+		return prefixBad(u.wireWalk(x.Elem(), visiting), "element ")
+	case *types.Map:
+		if v := prefixBad(u.wireWalk(x.Key(), visiting), "map key "); v.class == wireBad {
+			return v
+		}
+		if v := prefixBad(u.wireWalk(x.Elem(), visiting), "map value "); v.class == wireBad {
+			return v
+		}
+		return wireVerdict{class: wireOK}
+	case *types.Struct:
+		verdict := wireVerdict{class: wireOK}
+		for i := 0; i < x.NumFields(); i++ {
+			f := x.Field(i)
+			if f.Name() == "_" {
+				continue
+			}
+			if !f.Exported() {
+				return wireVerdict{class: wireBad,
+					reason: "unexported field " + f.Name() + " (invisible to wire codecs)"}
+			}
+			fv := prefixBad(u.wireWalk(f.Type(), visiting), "field "+f.Name()+" → ")
+			switch fv.class {
+			case wireBad:
+				return fv
+			case wireUnknown:
+				verdict.class = wireUnknown
+			}
+		}
+		return verdict
+	case *types.Named:
+		if obj := x.Obj(); obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync", "sync/atomic":
+				return wireVerdict{class: wireBad, reason: obj.Pkg().Name() + "." + obj.Name() + " must not cross the wire"}
+			}
+		}
+		if hasCloneWire(x) {
+			// The type owns its copy semantics; shallowness of the
+			// implementation is checked separately at the declaration.
+			return wireVerdict{class: wireOK}
+		}
+		return u.wireWalk(x.Underlying(), visiting)
+	case *types.Alias:
+		return u.wireWalk(types.Unalias(x), visiting)
+	case *types.Interface, *types.TypeParam:
+		return wireVerdict{class: wireUnknown}
+	}
+	return wireVerdict{class: wireUnknown}
+}
+
+// prefixBad prepends context to a bad verdict's reason chain.
+func prefixBad(v wireVerdict, prefix string) wireVerdict {
+	if v.class == wireBad {
+		v.reason = prefix + v.reason
+	}
+	return v
+}
+
+// hasCloneWire reports whether t (or *t) has a CloneWire method — the
+// cluster.Cloner contract, matched structurally so fixture stubs and the
+// real interface both qualify.
+func hasCloneWire(t types.Type) bool {
+	for _, recv := range []types.Type{t, types.NewPointer(t)} {
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, nil, "CloneWire")
+		if f, ok := obj.(*types.Func); ok {
+			sig, ok := f.Type().(*types.Signature)
+			if ok && sig.Params().Len() == 0 && sig.Results().Len() == 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasReferenceParts reports whether mutating a copy of t can be observed
+// through the original — t reaches a slice, map or pointer without an
+// intervening CloneWire boundary. Used for the Allreduce snapshot check
+// and the shallow-Cloner check. topLevel exempts the outermost slice: the
+// runtime's clonePayload deep-copies one level of the common slice kinds.
+func (u *Unit) hasReferenceParts(t types.Type, topLevel bool) bool {
+	return refWalk(t, topLevel, map[types.Type]bool{})
+}
+
+func refWalk(t types.Type, topLevel bool, visiting map[types.Type]bool) bool {
+	if t == nil || visiting[t] {
+		return false
+	}
+	visiting[t] = true
+	defer delete(visiting, t)
+	switch x := t.(type) {
+	case *types.Slice:
+		if topLevel {
+			return refWalk(x.Elem(), false, visiting)
+		}
+		return true
+	case *types.Map, *types.Pointer, *types.Chan:
+		return true
+	case *types.Array:
+		return refWalk(x.Elem(), false, visiting)
+	case *types.Struct:
+		for i := 0; i < x.NumFields(); i++ {
+			if refWalk(x.Field(i).Type(), false, visiting) {
+				return true
+			}
+		}
+		return false
+	case *types.Named:
+		return refWalk(x.Underlying(), topLevel, visiting)
+	case *types.Alias:
+		return refWalk(types.Unalias(x), topLevel, visiting)
+	}
+	return false
+}

@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 )
 
@@ -212,4 +213,45 @@ func funcBodies(u *Unit, visit func(name string, body *ast.BlockStmt)) {
 			return true
 		})
 	}
+}
+
+// clusterCall reports whether a collective- or comm-named call plausibly
+// targets the cluster vocabulary rather than an unrelated function that
+// shares a name (par.Reduce, a local Send helper, ...). Package-qualified
+// calls must come through a package named "cluster"; bare free-function
+// calls must hand a communicator-typed first argument when types resolve.
+// Method calls and calls with unresolved types pass — the syntactic rules
+// (collective, protocol) keep their lenient matching; only the
+// type-driven ownership and wire-safety rules consult this.
+func (u *Unit) clusterCall(call *ast.CallExpr) bool {
+	if sel, ok := unwrapCallFun(call).(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok && u.info != nil {
+			if _, isPkg := u.info.Uses[id].(*types.PkgName); isPkg {
+				return id.Name == "cluster"
+			}
+		}
+		return true // method call on a value (c.Barrier and friends)
+	}
+	if u.info == nil || len(call.Args) == 0 {
+		return true
+	}
+	t := u.info.TypeOf(call.Args[0])
+	if t == nil {
+		return true
+	}
+	if b, ok := t.(*types.Basic); ok && b.Kind() == types.Invalid {
+		return true // unresolved cross-package type: stay lenient
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	switch named.Obj().Name() {
+	case "Comm", "SubComm":
+		return true
+	}
+	return false
 }

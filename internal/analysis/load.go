@@ -31,7 +31,13 @@ type Unit struct {
 	cfg        Config
 	allowLines map[string]map[int]map[string]bool // file -> line -> rules
 
-	sums *summarizer // interprocedural summaries, built on demand
+	sums *summarizer  // interprocedural summaries, built on demand
+	muts *mutAnalyzer // parameter-mutation summaries, built on demand
+
+	wireCache map[types.Type]wireVerdict // encodability verdicts per type
+
+	ownOnce  bool         // ownership dataflow ran (shared by two rules)
+	ownFinds []ownFinding // its raw findings, filtered per enabled rule
 
 	typesOnce bool
 	info      *types.Info
@@ -77,7 +83,14 @@ func Load(patterns []string) ([]*Unit, error) {
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			// An unwalkable root must not abort the whole run: the other
+			// patterns' findings still matter (and in -json/-sarif mode an
+			// aborted run would emit no document at all). Surface it as a
+			// load finding on a synthetic unit; the CLI maps it to exit 2.
+			if !seen[root] {
+				seen[root] = true
+				dirs = append(dirs, root)
+			}
 		}
 	}
 	sort.Strings(dirs)
@@ -85,24 +98,33 @@ func Load(patterns []string) ([]*Unit, error) {
 	fset := token.NewFileSet()
 	var units []*Unit
 	for _, dir := range dirs {
-		us, err := loadDir(fset, dir)
-		if err != nil {
-			return nil, err
-		}
-		units = append(units, us...)
+		units = append(units, loadDir(fset, dir)...)
 	}
 	return units, nil
 }
 
 // loadDir parses every .go file in dir and groups them by package name.
-// A file that fails to parse no longer aborts the load: its first error
-// becomes a load-error finding on the directory's unit (a synthetic unit
-// when nothing in the directory parses), the parsed remainder is analyzed
-// normally, and the CLI maps the finding to exit code 2.
-func loadDir(fset *token.FileSet, dir string) ([]*Unit, error) {
+// Neither an unreadable directory nor a file that fails to parse aborts
+// the load: the error becomes a load-error finding on the directory's
+// unit (a synthetic unit when nothing in the directory parses), the
+// parsed remainder is analyzed normally, and the CLI maps the finding to
+// exit code 2 — so machine-readable modes always emit a document with
+// every finding the run did produce.
+func loadDir(fset *token.FileSet, dir string) []*Unit {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return []*Unit{{
+			Dir:        dir,
+			Rel:        filepath.ToSlash(filepath.Clean(dir)),
+			Name:       "(unreadable)",
+			Fset:       fset,
+			allowLines: map[string]map[int]map[string]bool{},
+			LoadErrs: []Finding{{
+				Pos:  token.Position{Filename: filepath.ToSlash(dir), Line: 1, Column: 1},
+				Rule: "load",
+				Msg:  "directory is not readable: " + err.Error(),
+			}},
+		}}
 	}
 	byPkg := map[string][]*ast.File{}
 	var loadErrs []Finding
@@ -151,7 +173,7 @@ func loadDir(fset *token.FileSet, dir string) ([]*Unit, error) {
 		}
 		units[0].LoadErrs = append(units[0].LoadErrs, loadErrs...)
 	}
-	return units, nil
+	return units
 }
 
 // loadErrFinding turns a parse error into a finding at the error's

@@ -21,14 +21,39 @@ func FindingID(f Finding) string {
 // ruleDescriptions gives each rule a one-line description for machine
 // output. The reserved "load" rule covers files that failed to parse.
 var ruleDescriptions = map[string]string{
-	"collective": "collective call not matched across rank-divergent branches",
-	"sendrecv":   "Send with a constant tag no Recv in the package matches",
-	"protocol":   "interprocedural SPMD protocol violation (collective order, orphan tags, rank-dependent trip counts)",
-	"deadlock":   "static Recv wait-cycle or uniform receive-before-send hang",
-	"capture":    "unguarded write to a captured variable in a rank closure",
-	"lockcopy":   "sync.Mutex or sync.WaitGroup copied by value",
-	"rawgo":      "raw go statement bypassing the sanctioned substrates",
-	"load":       "file failed to parse and was excluded from analysis",
+	"collective":   "collective call not matched across rank-divergent branches",
+	"sendrecv":     "Send with a constant tag no Recv in the package matches",
+	"protocol":     "interprocedural SPMD protocol violation (collective order, orphan tags, rank-dependent trip counts)",
+	"deadlock":     "static Recv wait-cycle or uniform receive-before-send hang",
+	"useaftersend": "sent or collectively-shared buffer written before a happens-after sync point",
+	"recvalias":    "received data lands in an in-flight buffer or overlapping receive targets",
+	"wiresafe":     "payload type a network transport cannot encode, or a missing/shallow CloneWire",
+	"capture":      "unguarded write to a captured variable in a rank closure",
+	"lockcopy":     "sync.Mutex or sync.WaitGroup copied by value",
+	"rawgo":        "raw go statement bypassing the sanctioned substrates",
+	"load":         "file failed to parse and was excluded from analysis",
+}
+
+// ruleSARIFNames gives each rule its PascalCase SARIF display name —
+// stable like the rule IDs, so SARIF viewers group findings usefully.
+var ruleSARIFNames = map[string]string{
+	"collective":   "CollectiveDivergence",
+	"sendrecv":     "OrphanSendTag",
+	"protocol":     "ProtocolMismatch",
+	"deadlock":     "StaticDeadlock",
+	"useaftersend": "UseAfterSend",
+	"recvalias":    "ReceiveAliasing",
+	"wiresafe":     "WireUnsafePayload",
+	"capture":      "SharedCapture",
+	"lockcopy":     "LockCopy",
+	"rawgo":        "RawGoroutine",
+	"load":         "LoadFailure",
+}
+
+// ruleHelpURI points a rule at its section of the analyzer docs. The URI
+// is repo-relative so it resolves wherever the repository is browsed.
+func ruleHelpURI(rule string) string {
+	return "docs/analysis.md#rule-" + rule
 }
 
 type jsonFinding struct {
@@ -83,7 +108,9 @@ type sarifDriver struct {
 
 type sarifRule struct {
 	ID               string       `json:"id"`
+	Name             string       `json:"name"`
 	ShortDescription sarifMessage `json:"shortDescription"`
+	HelpURI          string       `json:"helpUri"`
 }
 
 type sarifMessage struct {
@@ -125,7 +152,9 @@ func WriteSARIF(w io.Writer, findings []Finding) error {
 	for _, name := range append(append([]string{}, AllRules...), "load") {
 		driver.Rules = append(driver.Rules, sarifRule{
 			ID:               name,
+			Name:             ruleSARIFNames[name],
 			ShortDescription: sarifMessage{Text: ruleDescriptions[name]},
+			HelpURI:          ruleHelpURI(name),
 		})
 	}
 	results := make([]sarifResult, 0, len(findings))

@@ -77,7 +77,12 @@ type Effect struct {
 	Tag      operand // p2p only
 	Peer     operand // p2p only: destination for sends, source for receives
 	Blocking bool    // EffRecv: false for TryRecv
-	Pos      token.Pos
+	// Payload names the summarized function's parameter that flows into
+	// the operation's payload argument ("" when the payload is not a bare
+	// parameter). EffSend and EffColl only. The ownership rule reads this
+	// to see buffers escaping into communication through helper calls.
+	Payload string
+	Pos     token.Pos
 	// Path is the call chain from the summarized function to the effect
 	// site: nil for direct effects, ["helper"] for effects inside a
 	// called helper, ["helper", "inner"] one level deeper.
@@ -522,7 +527,11 @@ func (s *summarizer) callEffects(call *ast.CallExpr, params map[string]bool, dep
 		out = append(out, s.exprEffects(a, params, depth)...)
 	}
 	if cc, ok := asCollective(call); ok {
-		out = append(out, Effect{Kind: EffColl, Op: cc.name, Comm: cc.comm, Pos: call.Pos()})
+		eff := Effect{Kind: EffColl, Op: cc.name, Comm: cc.comm, Pos: call.Pos()}
+		if i := collPayloadIndex(cc.name); i >= 0 {
+			eff.Payload = paramArgName(call, i, params)
+		}
+		out = append(out, eff)
 		return out
 	}
 	name := commCallName(call)
@@ -531,8 +540,9 @@ func (s *summarizer) callEffects(call *ast.CallExpr, params map[string]bool, dep
 		if len(call.Args) == 4 {
 			out = append(out, Effect{
 				Kind: EffSend, Op: name, Comm: argIdent(call, 0), Pos: call.Pos(),
-				Peer: s.classify(call.Args[1], params),
-				Tag:  s.classify(call.Args[2], params),
+				Peer:    s.classify(call.Args[1], params),
+				Tag:     s.classify(call.Args[2], params),
+				Payload: paramArgName(call, 3, params),
 			})
 			return out
 		}
@@ -561,7 +571,8 @@ func (s *summarizer) callEffects(call *ast.CallExpr, params map[string]bool, dep
 			peer := s.classify(call.Args[1], params)
 			tag := s.classify(call.Args[2], params)
 			out = append(out,
-				Effect{Kind: EffSend, Op: name, Comm: argIdent(call, 0), Pos: call.Pos(), Peer: peer, Tag: tag},
+				Effect{Kind: EffSend, Op: name, Comm: argIdent(call, 0), Pos: call.Pos(), Peer: peer, Tag: tag,
+					Payload: paramArgName(call, 3, params)},
 				Effect{Kind: EffRecv, Op: name, Comm: argIdent(call, 0), Pos: call.Pos(), Blocking: true, Peer: peer, Tag: tag})
 			return out
 		}
@@ -657,6 +668,11 @@ func substEffects(effects []Effect, calleeName string, bind map[string]operand, 
 		c.Path = append([]string{calleeName}, e.Path...)
 		c.Tag = substOperand(e.Tag, bind)
 		c.Peer = substOperand(e.Peer, bind)
+		if e.Payload != "" {
+			// The payload param maps to whatever caller identifier was
+			// passed there; non-identifier arguments lose the fact.
+			c.Payload = commBind[e.Payload]
+		}
 		if mapped, ok := commBind[e.Comm]; ok {
 			c.Comm = mapped
 		} else if e.Comm != "" {
@@ -718,6 +734,31 @@ func mentionsRank(n ast.Node) bool {
 		return !found
 	})
 	return found
+}
+
+// collPayloadIndex returns the payload argument position of a collective
+// by name, or -1 for collectives that carry no user payload (Barrier,
+// Split). The positions mirror internal/cluster's signatures.
+func collPayloadIndex(name string) int {
+	switch name {
+	case "Bcast", "Reduce", "Gather", "Scatter",
+		"BcastSub", "ReduceSub", "GatherSub":
+		return 2 // (comm, root, v, ...)
+	case "Allreduce", "Allgather", "Alltoall", "Scan", "AllreduceSub":
+		return 1 // (comm, v, ...)
+	}
+	return -1
+}
+
+// paramArgName returns the name of argument i when it is a bare
+// identifier naming one of the current function's parameters, else "".
+func paramArgName(call *ast.CallExpr, i int, params map[string]bool) string {
+	if i < len(call.Args) {
+		if id, ok := call.Args[i].(*ast.Ident); ok && params[id.Name] {
+			return id.Name
+		}
+	}
+	return ""
 }
 
 // argIdent returns the identifier name of argument i, or "".

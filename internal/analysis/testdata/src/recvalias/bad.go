@@ -1,0 +1,30 @@
+package fixture
+
+const (
+	tagA = 21
+	tagB = 22
+	tagC = 23
+)
+
+// Two receives land in provably overlapping slices of the same frame:
+// element 4 of the first payload is silently overwritten by the second.
+func overlapTargets(c *Comm, frame []float64) {
+	left := Recv[[]float64](c, 1, tagA)
+	copy(frame[0:5], left)
+	right := Recv[[]float64](c, 2, tagA)
+	copy(frame[4:8], right) // WANT recvalias
+}
+
+// Received data lands in a buffer whose previous contents are still in
+// flight to another peer — the peer may observe the received bytes.
+func recvIntoInFlight(c *Comm, buf []float64) {
+	Send(c, 1, tagB, buf)
+	got := Recv[[]float64](c, 2, tagB)
+	copy(buf, got) // WANT recvalias
+}
+
+// Same element receives twice: the second silently clobbers the first.
+func elementClobber(c *Comm, parts []float64) {
+	parts[2] = Recv[float64](c, 1, tagC)
+	parts[2] = Recv[float64](c, 2, tagC) // WANT recvalias
+}

@@ -1,0 +1,27 @@
+package fixture
+
+// Disjoint constant ranges: each receive owns its half of the frame.
+func disjointTargets(c *Comm, frame []float64) {
+	left := Recv[[]float64](c, 1, tagA)
+	copy(frame[0:4], left)
+	right := Recv[[]float64](c, 2, tagA)
+	copy(frame[4:8], right)
+}
+
+// Whole-buffer scratch reuse across iterations is idiomatic, not a bug:
+// each landing deliberately replaces the previous one.
+func scratchReuse(c *Comm) {
+	scratch := make([]float64, 8)
+	for i := 0; i < 3; i++ {
+		in := Recv[[]float64](c, 1, tagB)
+		copy(scratch, in)
+	}
+}
+
+// A sync point retires the in-flight send before the receive lands.
+func recvAfterClear(c *Comm, buf []float64) {
+	Send(c, 1, tagC, buf)
+	c.Barrier()
+	got := Recv[[]float64](c, 2, tagC)
+	copy(buf, got)
+}

@@ -1,0 +1,79 @@
+package fixture
+
+import "sync"
+
+const (
+	tagA = 31
+	tagB = 32
+	tagC = 33
+	tagD = 34
+)
+
+// A channel only means something inside one process.
+func sendChan(c *Comm) {
+	ch := make(chan int)
+	Send(c, 1, tagA, ch) // WANT wiresafe
+}
+
+// A function value cannot cross the wire either, even buried in a field.
+type job struct {
+	ID  int
+	Run func() error
+}
+
+func sendFuncField(c *Comm, j job) {
+	Send(c, 1, tagB, j) // WANT wiresafe
+}
+
+// Unexported fields are invisible to wire codecs: the payload arrives
+// hollow the moment a real network device has to encode it.
+type record struct {
+	Key   string
+	cache map[string]int
+}
+
+func sendHidden(c *Comm, r record) {
+	Send(c, 1, tagC, r) // WANT wiresafe
+}
+
+// Sync primitives are process-local state; shipping one is always wrong.
+type guarded struct {
+	Mu  sync.Mutex
+	Val int
+}
+
+func sendLocked(c *Comm, g *guarded) {
+	Send(c, 1, tagD, g) // WANT wiresafe
+}
+
+// A CloneWire that returns the receiver is not a clone at all.
+type table struct {
+	Rows []int
+}
+
+func (t *table) CloneWire() any {
+	return t // WANT wiresafe
+}
+
+// A CloneWire that rebuilds the struct but copies a slice field bare
+// still shares the backing array with the original.
+type matrix struct {
+	Name  string
+	Cells []float64
+}
+
+func (m matrix) CloneWire() any {
+	return matrix{Name: m.Name, Cells: m.Cells} // WANT wiresafe
+}
+
+// Allreduce snapshots each rank's contribution; a reference-carrying
+// payload with no CloneWire gets a shallow snapshot, so reduction steps
+// observe each other's mutations.
+type hist struct {
+	Bins []float64
+}
+
+func reduceHist(c *Comm, h hist) {
+	h = Allreduce(c, h, func(a, b hist) hist { return a }) // WANT wiresafe
+	_ = h
+}

@@ -1,0 +1,44 @@
+package fixture
+
+// Flat value types encode trivially.
+type point struct {
+	X, Y float64
+}
+
+func flatStruct(c *Comm, p point) {
+	Send(c, 1, tagA, p)
+}
+
+// Slices and maps of flat elements are the bread-and-butter payloads.
+func slicePayload(c *Comm, xs []float64) {
+	Send(c, 1, tagB, xs)
+}
+
+func mapPayload(c *Comm, m map[string]int) {
+	Send(c, 1, tagC, m)
+}
+
+// A deep CloneWire satisfies the Cloner contract: the type is safe to
+// send and safe to Allreduce.
+type series struct {
+	Vals []float64
+}
+
+func (s series) CloneWire() any {
+	return series{Vals: append([]float64(nil), s.Vals...)}
+}
+
+func sendSeries(c *Comm, s series) {
+	Send(c, 1, tagD, s)
+}
+
+func reduceSeries(c *Comm, s series) {
+	s = Allreduce(c, s, func(a, b series) series { return a })
+	_ = s
+}
+
+// Scalar reductions carry no references at all.
+func reduceScalar(c *Comm, v float64) {
+	v = Allreduce(c, v, func(a, b float64) float64 { return a + b })
+	_ = v
+}

@@ -1,0 +1,13 @@
+// Package fixture holds self-contained peachyvet test inputs for the
+// wire-safety (serializability) rule. The stubs mirror the cluster API
+// shapes, including the Cloner contract's CloneWire method.
+package fixture
+
+type Comm struct{}
+
+func (c *Comm) Rank() int { return 0 }
+func (c *Comm) Size() int { return 2 }
+
+func Send[T any](c *Comm, dst, tag int, v T) {}
+
+func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T { return v }

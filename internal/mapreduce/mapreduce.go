@@ -23,12 +23,14 @@ type Pair[K comparable, V any] struct {
 // batch is the unit exchanged between ranks; it reports its wire size to
 // the cluster cost model so combiner experiments measure real traffic.
 type batch[K comparable, V any] struct {
-	pairs     []Pair[K, V]
-	pairBytes int
+	// Exported: the batch crosses rank boundaries via Alltoall, and a
+	// network transport's codec only sees exported fields.
+	Pairs     []Pair[K, V]
+	PairBytes int
 }
 
 // WireSize implements cluster.Sizer.
-func (b batch[K, V]) WireSize() int { return len(b.pairs) * b.pairBytes }
+func (b batch[K, V]) WireSize() int { return len(b.Pairs) * b.PairBytes }
 
 // Job describes a MapReduce computation over inputs of type I, emitting
 // (K, V) pairs and reducing each key to an R.
@@ -115,7 +117,7 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 				ps = append(ps, Pair[K, V]{k, v})
 			}
 		}
-		parts[r] = batch[K, V]{pairs: ps, pairBytes: pairBytes}
+		parts[r] = batch[K, V]{Pairs: ps, PairBytes: pairBytes}
 	}
 	incoming := cluster.Alltoall(c, parts)
 
@@ -124,11 +126,11 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 	collSim := c.Clock()
 	nIn := 0
 	for _, bt := range incoming {
-		nIn += len(bt.pairs)
+		nIn += len(bt.Pairs)
 	}
 	grouped := make(map[K][]V, nIn)
 	for _, bt := range incoming {
-		for _, p := range bt.pairs {
+		for _, p := range bt.Pairs {
 			grouped[p.Key] = append(grouped[p.Key], p.Value)
 		}
 	}

@@ -45,6 +45,9 @@ go test -run '^$' -bench "$CLUSTER_RE" -benchmem -benchtime "$BENCHTIME" ./inter
 echo "== cluster-backed experiment benchmarks (benchtime=$BENCHTIME)"
 go test -run '^$' -bench "$ROOT_RE" -benchmem -benchtime "$BENCHTIME" . | tee -a "$TMP"
 
+echo "== analyzer ownership pass benchmark (benchtime=$BENCHTIME)"
+go test -run '^$' -bench BenchmarkAnalyzeOwnership -benchmem -benchtime "$BENCHTIME" ./internal/analysis | tee -a "$TMP"
+
 mkdir -p "$(dirname "$OUT")"
 awk -v host="$(uname -sm)" -v gover="$(go version | awk '{print $3}')" \
 	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '

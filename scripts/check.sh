@@ -25,6 +25,10 @@ mkdir -p out
 go run ./cmd/peachyvet -json ./... > out/peachyvet.json
 echo "wrote out/peachyvet.json"
 
+echo "== peachyvet -sarif artifact"
+go run ./cmd/peachyvet -sarif ./... > out/peachyvet.sarif
+echo "wrote out/peachyvet.sarif"
+
 echo "== observability smoke (trace + metrics + obs-lint)"
 mkdir -p out
 go run ./cmd/knn -variant mapreduce -ranks 4 -n 2000 -q 500 \
