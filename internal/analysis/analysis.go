@@ -63,8 +63,11 @@ func (f Finding) String() string {
 // wiresafe) are likewise interprocedural: they combine the communication
 // summaries with per-function mutation summaries (mutation.go) and a
 // type-recursive encodability lattice (encodable.go).
+// The performance-and-determinism family (hotalloc, rolledcoll, nondet)
+// shares the same call graph, summaries and payload facts (perf.go).
 var AllRules = []string{"collective", "sendrecv", "protocol", "deadlock",
-	"useaftersend", "recvalias", "wiresafe", "capture", "lockcopy", "rawgo"}
+	"useaftersend", "recvalias", "wiresafe", "hotalloc", "rolledcoll",
+	"nondet", "capture", "lockcopy", "rawgo"}
 
 // Config selects which rules run and where rawgo is exempt.
 type Config struct {
@@ -120,6 +123,9 @@ var checks = map[string]checkFunc{
 	"useaftersend": checkUseAfterSend,
 	"recvalias":    checkRecvAlias,
 	"wiresafe":     checkWireSafe,
+	"hotalloc":     checkHotAlloc,
+	"rolledcoll":   checkRolledColl,
+	"nondet":       checkNondet,
 	"capture":      checkCapture,
 	"lockcopy":     checkLockCopy,
 	"rawgo":        checkRawGo,
@@ -138,7 +144,8 @@ func Analyze(u *Unit, cfg Config) []Finding {
 			continue
 		}
 		switch name {
-		case "lockcopy", "capture", "useaftersend", "recvalias", "wiresafe":
+		case "lockcopy", "capture", "useaftersend", "recvalias", "wiresafe",
+			"hotalloc", "rolledcoll", "nondet":
 			u.ensureTypes() // these rules consult type info where available
 		}
 		checks[name](u, r)

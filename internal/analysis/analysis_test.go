@@ -3,6 +3,7 @@ package analysis
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -143,6 +144,9 @@ func TestMainExitCodes(t *testing.T) {
 		fixtureDir("useaftersend"),
 		fixtureDir("recvalias"),
 		fixtureDir("wiresafe"),
+		fixtureDir("hotalloc"),
+		fixtureDir("rolledcoll"),
+		fixtureDir("nondet"),
 		fixtureDir("capture"),
 		fixtureDir("lockcopy"),
 		fixtureDir("rawgo"),
@@ -161,5 +165,37 @@ func TestMainExitCodes(t *testing.T) {
 
 	if code := Main([]string{"-rules", "nosuchrule", "."}, &out, &errb); code != 2 {
 		t.Errorf("Main(-rules nosuchrule) = %d, want 2", code)
+	}
+
+	// Rule selection narrows the exit contract: the hotalloc fixture is
+	// clean under nondet alone but dirty under hotalloc alone.
+	out.Reset()
+	errb.Reset()
+	if code := Main([]string{"-rules", "nondet", "-q", fixtureDir("hotalloc")}, &out, &errb); code != 0 {
+		t.Errorf("Main(-rules nondet, hotalloc fixture) = %d, want 0\nstdout: %s", code, out.String())
+	}
+	if code := Main([]string{"-rules", "hotalloc", "-q", fixtureDir("hotalloc")}, &out, &errb); code != 1 {
+		t.Errorf("Main(-rules hotalloc, hotalloc fixture) = %d, want 1", code)
+	}
+
+	// -stats keeps the exit contract and reports per-rule counts.
+	out.Reset()
+	errb.Reset()
+	if code := Main([]string{"-stats", "-rules", "rolledcoll", fixtureDir("rolledcoll")}, &out, &errb); code != 1 {
+		t.Errorf("Main(-stats, rolledcoll fixture) = %d, want 1\nstderr: %s", code, errb.String())
+	}
+	var st Stats
+	if err := json.Unmarshal(out.Bytes(), &st); err != nil {
+		t.Fatalf("-stats output is not JSON: %v\n%s", err, out.String())
+	}
+	if st.Packages != 1 || st.Findings == 0 || st.Rules["rolledcoll"] != st.Findings {
+		t.Errorf("-stats = %+v, want all findings under rolledcoll in 1 package", st)
+	}
+	if _, ok := st.Rules["nondet"]; !ok {
+		t.Errorf("-stats omits zero-count rules: %+v", st.Rules)
+	}
+
+	if code := Main([]string{"-stats", "-json", "."}, &out, &errb); code != 2 {
+		t.Errorf("Main(-stats -json) = %d, want 2", code)
 	}
 }

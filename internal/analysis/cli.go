@@ -19,7 +19,8 @@ import (
 //
 // Output modes: the default is one human-readable line per finding;
 // -json emits a JSON array of findings with stable ids; -sarif emits a
-// SARIF 2.1.0 log. The modes are mutually exclusive and both imply -q.
+// SARIF 2.1.0 log; -stats emits per-rule finding counts as JSON. The
+// modes are mutually exclusive and all imply -q.
 func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("peachyvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -27,15 +28,22 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	quiet := fs.Bool("q", false, "suppress the summary line")
 	jsonOut := fs.Bool("json", false, "write findings as JSON to stdout")
 	sarifOut := fs.Bool("sarif", false, "write findings as SARIF 2.1.0 to stdout")
+	statsOut := fs.Bool("stats", false, "write per-rule finding counts as JSON to stdout")
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: peachyvet [-rules r1,r2] [-q] [-json|-sarif] ./... [dir ...]")
+		fmt.Fprintln(stderr, "usage: peachyvet [-rules r1,r2] [-q] [-json|-sarif|-stats] ./... [dir ...]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *jsonOut && *sarifOut {
-		fmt.Fprintln(stderr, "peachyvet: -json and -sarif are mutually exclusive")
+	modes := 0
+	for _, on := range []bool{*jsonOut, *sarifOut, *statsOut} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(stderr, "peachyvet: -json, -sarif and -stats are mutually exclusive")
 		return 2
 	}
 	patterns := fs.Args()
@@ -89,6 +97,11 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		}
 	case *sarifOut:
 		if err := WriteSARIF(stdout, findings); err != nil {
+			fmt.Fprintln(stderr, "peachyvet:", err)
+			return 2
+		}
+	case *statsOut:
+		if err := WriteStats(stdout, len(units), findings); err != nil {
 			fmt.Fprintln(stderr, "peachyvet:", err)
 			return 2
 		}

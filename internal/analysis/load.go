@@ -34,6 +34,10 @@ type Unit struct {
 	sums *summarizer  // interprocedural summaries, built on demand
 	muts *mutAnalyzer // parameter-mutation summaries, built on demand
 
+	// sentFacts memoizes per-callee payload facts (perf.go), shared by
+	// the ownership engine and the performance rules.
+	sentFacts map[*ast.FuncDecl]map[string]sentFact
+
 	wireCache map[types.Type]wireVerdict // encodability verdicts per type
 
 	ownOnce  bool         // ownership dataflow ran (shared by two rules)

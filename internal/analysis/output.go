@@ -28,6 +28,9 @@ var ruleDescriptions = map[string]string{
 	"useaftersend": "sent or collectively-shared buffer written before a happens-after sync point",
 	"recvalias":    "received data lands in an in-flight buffer or overlapping receive targets",
 	"wiresafe":     "payload type a network transport cannot encode, or a missing/shallow CloneWire",
+	"hotalloc":     "per-iteration allocation flowing into a communication payload inside the same loop",
+	"rolledcoll":   "hand-rolled O(P) send/recv loop matching a known O(log P) collective shape",
+	"nondet":       "map order, unseeded rand or wall-clock time reaching a payload, reduction or obs field",
 	"capture":      "unguarded write to a captured variable in a rank closure",
 	"lockcopy":     "sync.Mutex or sync.WaitGroup copied by value",
 	"rawgo":        "raw go statement bypassing the sanctioned substrates",
@@ -44,6 +47,9 @@ var ruleSARIFNames = map[string]string{
 	"useaftersend": "UseAfterSend",
 	"recvalias":    "ReceiveAliasing",
 	"wiresafe":     "WireUnsafePayload",
+	"hotalloc":     "HotPathAllocation",
+	"rolledcoll":   "HandRolledCollective",
+	"nondet":       "NondeterministicValue",
 	"capture":      "SharedCapture",
 	"lockcopy":     "LockCopy",
 	"rawgo":        "RawGoroutine",
@@ -67,6 +73,31 @@ type jsonFinding struct {
 
 // WriteJSON emits findings as a JSON array (never null: a clean run is
 // `[]`), one object per finding with a stable id.
+// Stats summarizes one run for trend tracking: per-rule finding counts
+// over the analyzed packages. Every known rule appears with its count,
+// zero or not, so diffs of archived stats files have a stable schema.
+type Stats struct {
+	Packages int            `json:"packages"`
+	Findings int            `json:"findings"`
+	Rules    map[string]int `json:"rules"`
+}
+
+// WriteStats emits the per-rule finding-count JSON behind `peachyvet
+// -stats`. Map keys encode in sorted order, so the output is byte-stable
+// for a given finding set.
+func WriteStats(w io.Writer, packages int, findings []Finding) error {
+	st := Stats{Packages: packages, Findings: len(findings), Rules: make(map[string]int, len(AllRules)+1)}
+	for _, r := range AllRules {
+		st.Rules[r] = 0
+	}
+	for _, f := range findings {
+		st.Rules[f.Rule]++
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&st)
+}
+
 func WriteJSON(w io.Writer, findings []Finding) error {
 	out := make([]jsonFinding, 0, len(findings))
 	for _, f := range findings {

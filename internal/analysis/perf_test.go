@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// ruleMessages analyzes one fixture package under a single rule and
+// returns the finding messages joined for substring assertions.
+func ruleMessages(t *testing.T, rule, dir string) string {
+	t.Helper()
+	units, err := Load([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Rules = map[string]bool{rule: true}
+	var msgs []string
+	for _, f := range Analyze(units[0], cfg) {
+		msgs = append(msgs, f.Msg)
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// TestPerfInterprocedural pins the interprocedural half of the
+// performance/determinism family: the finding messages must name the
+// helper the payload or peer fact was spliced through.
+func TestPerfInterprocedural(t *testing.T) {
+	if all := ruleMessages(t, "hotalloc", fixtureDir("hotalloc")); true {
+		for _, want := range []string{
+			"payload via forward", // alloc in caller, send inside helper
+			"helper newBuf",       // alloc inside helper, send in caller
+		} {
+			if !strings.Contains(all, want) {
+				t.Errorf("no hotalloc finding mentions %q; got:\n%s", want, all)
+			}
+		}
+	}
+	if all := ruleMessages(t, "rolledcoll", fixtureDir("rolledcoll")); !strings.Contains(all, "communication via sendTo") {
+		t.Errorf("no rolledcoll finding names the send helper; got:\n%s", all)
+	}
+	if all := ruleMessages(t, "nondet", fixtureDir("nondet")); !strings.Contains(all, "payload via reduceVals") {
+		t.Errorf("no nondet finding names the reduction helper; got:\n%s", all)
+	}
+}
+
+// BenchmarkAnalyzePerf measures the performance/determinism family alone
+// over the whole repository: the shared payload-fact extraction, the
+// per-loop allocation scan, the collective-shape matcher and the
+// nondeterminism taint walk, on top of a shared parse.
+func BenchmarkAnalyzePerf(b *testing.B) {
+	units, err := Load([]string{"../../..."})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.Rules = map[string]bool{"hotalloc": true, "rolledcoll": true, "nondet": true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range units {
+			u.sums = nil
+			u.muts = nil
+			u.sentFacts = nil
+			for _, f := range Analyze(u, cfg) {
+				if f.Rule != "load" {
+					b.Fatalf("repo not clean under perf rules: %s", f)
+				}
+			}
+		}
+	}
+}

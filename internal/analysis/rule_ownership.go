@@ -188,13 +188,6 @@ type ownEngine struct {
 	seen   map[string]bool
 	finds  []ownFinding
 	nextID int
-	sent   map[*ast.FuncDecl]map[string]sentFact
-}
-
-// sentFact records that a callee forwards a parameter into communication.
-type sentFact struct {
-	op   string
-	coll bool
 }
 
 func (e *ownEngine) run() {
@@ -673,7 +666,13 @@ func (e *ownEngine) handleCall(call *ast.CallExpr, st *ownState) {
 			// sends; the payload handed to it becomes shared with other
 			// ranks (the transport passes the pointer through).
 			st.clearP2P()
-			if i := collPayloadIndex(cc.name); i >= 0 && i < len(call.Args) && e.payloadShares(call.Args[i]) {
+			// Allreduce consumes its payload argument before returning on
+			// every path: recursive doubling sends snapshots, and the
+			// reduce+bcast fallback clones at the root before broadcasting
+			// (collectives.go). The *result* still aliases shared memory —
+			// handled in bind — but the argument is reusable.
+			reusable := cc.name == "Allreduce" || cc.name == "AllreduceSub"
+			if i := collPayloadIndex(cc.name); i >= 0 && i < len(call.Args) && !reusable && e.payloadShares(call.Args[i]) {
 				if reg, ok := e.resolveRef(call.Args[i], st); ok {
 					st.live[reg.root] = &liveInfo{op: cc.name, pos: call.Pos()}
 				}
@@ -730,6 +729,9 @@ func (e *ownEngine) handleCall(call *ast.CallExpr, st *ownState) {
 			}
 		}
 		if fact, escapes := sends[pname]; escapes {
+			if fact.op == "Allreduce" || fact.op == "AllreduceSub" {
+				continue // payload consumed before return, as above
+			}
 			st.live[reg.root] = &liveInfo{
 				op: fact.op + " via " + callee.Name.Name, pos: call.Pos(), p2p: !fact.coll,
 			}
@@ -739,33 +741,10 @@ func (e *ownEngine) handleCall(call *ast.CallExpr, st *ownState) {
 
 // sentParams extracts, from a callee's communication summary, the
 // parameters it forwards into a send or collective payload — the spliced
-// fact that lets `forward(c, buf)` make buf live in the caller.
+// fact that lets `forward(c, buf)` make buf live in the caller. The
+// extraction itself lives in perf.go, shared with the performance rules.
 func (e *ownEngine) sentParams(fd *ast.FuncDecl) map[string]sentFact {
-	if e.sent == nil {
-		e.sent = map[*ast.FuncDecl]map[string]sentFact{}
-	}
-	if facts, ok := e.sent[fd]; ok {
-		return facts
-	}
-	params := paramSet(fd)
-	out := map[string]sentFact{}
-	var walk func(effs []Effect)
-	walk = func(effs []Effect) {
-		for _, ef := range effs {
-			if (ef.Kind == EffSend || ef.Kind == EffColl) && ef.Payload != "" && params[ef.Payload] {
-				if _, dup := out[ef.Payload]; !dup {
-					out[ef.Payload] = sentFact{op: ef.Op, coll: ef.Kind == EffColl}
-				}
-			}
-			walk(ef.Body)
-			for _, arm := range ef.Arms {
-				walk(arm)
-			}
-		}
-	}
-	walk(e.sums.funcSummary(fd).Effects)
-	e.sent[fd] = out
-	return out
+	return e.u.payloadFacts(fd)
 }
 
 // calleeHasCollective reports whether the callee's summary reaches any

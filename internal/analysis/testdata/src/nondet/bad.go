@@ -1,0 +1,67 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// mapOrderToWire accumulates keys in map iteration order and sends the
+// sequence: the receiver observes a different order every run.
+func mapOrderToWire(c *Comm, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	Send(c, 1, 7, keys) // WANT nondet
+}
+
+// mapOrderDirect sends per-element in map iteration order.
+func mapOrderDirect(c *Comm, m map[int]int) {
+	for k, v := range m {
+		Send(c, 1, 9, k+v) // WANT nondet
+	}
+}
+
+// floatFold: float accumulation over a map range is order-dependent
+// (float addition is not associative) and feeds a reduction operand.
+func floatFold(c *Comm, weights map[string]float64) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	return Allreduce(c, total, sumF) // WANT nondet
+}
+
+// wallClock stamps a payload with wall-clock time.
+func wallClock(c *Comm) {
+	stamp := time.Now().UnixNano()
+	Send(c, 1, 11, stamp) // WANT nondet
+}
+
+// unseeded sends an unseeded math/rand value.
+func unseeded(c *Comm) {
+	Send(c, 1, 13, rand.Int()) // WANT nondet
+}
+
+// wallInTrace lands wall-clock time in an obs span field: the golden
+// traces diverge across runs.
+func wallInTrace(rec *Recorder) {
+	start := time.Now().UnixNano()
+	rec.PhaseSpan("phase", 0, 1, start) // WANT nondet
+}
+
+// reduceVals forwards its parameter into an Allreduce; its summary
+// carries the payload fact.
+func reduceVals(c *Comm, vals []float64) []float64 {
+	return Allreduce(c, vals, sumV)
+}
+
+// viaHelper: a map-ordered sequence reaches the reduction operand
+// through a helper — the interprocedural payload fact.
+func viaHelper(c *Comm, m map[int]float64) []float64 {
+	var xs []float64
+	for _, v := range m {
+		xs = append(xs, v)
+	}
+	return reduceVals(c, xs) // WANT nondet
+}

@@ -1,0 +1,70 @@
+package fixture
+
+import (
+	"sort"
+	"time"
+)
+
+// seeded uses the prng-style explicitly seeded generator: safe by
+// contract, reproducible across runs.
+func seeded(c *Comm, rng *Rand) {
+	Send(c, 1, 7, rng.Float64())
+}
+
+// sortedKeys is the canonical fix: sorting the key sequence restores a
+// deterministic order before it reaches the wire.
+func sortedKeys(c *Comm, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	Send(c, 1, 9, keys)
+}
+
+// insertionOrder iterates an explicitly maintained key list instead of
+// the map itself.
+func insertionOrder(c *Comm, m map[string]int, order []string) {
+	var vals []int
+	for _, k := range order {
+		vals = append(vals, m[k])
+	}
+	Send(c, 1, 11, vals)
+}
+
+// intCount: integer accumulation over a map range is order-independent.
+func intCount(c *Comm, m map[string][]int) {
+	n := 0
+	for _, vs := range m {
+		n += len(vs)
+	}
+	Send(c, 1, 13, n)
+}
+
+// perKeyRewrite stores back into the map being ranged: each key's value
+// is rewritten independently, so the map's content stays deterministic.
+func perKeyRewrite(c *Comm, m map[string][]int) {
+	for k, vs := range m {
+		if len(vs) > 1 {
+			m[k] = vs[:1]
+		}
+	}
+	n := 0
+	for _, vs := range m {
+		n += len(vs)
+	}
+	Send(c, 1, 15, n)
+}
+
+// recNow uses the obs recorder's own clock — the exporters normalize it,
+// so it is safe by contract.
+func recNow(rec *Recorder) {
+	start := rec.Now()
+	rec.PhaseSpan("phase", 0, 1, start)
+}
+
+// allowedStamp documents a justified wall-clock payload (a log line a
+// human reads, not a value any rank computes with).
+func allowedStamp(c *Comm) {
+	Send(c, 1, 17, time.Now().UnixNano()) //peachyvet:allow nondet
+}

@@ -1,0 +1,30 @@
+// Package fixture holds self-contained peachyvet test inputs for the
+// nondeterminism rule: map iteration order, unseeded math/rand and
+// wall-clock time reaching wire payloads, reduction operands, or obs
+// trace fields.
+package fixture
+
+type Comm struct{}
+
+func (c *Comm) Rank() int { return 0 }
+func (c *Comm) Size() int { return 2 }
+
+func Send[T any](c *Comm, dst, tag int, v T) {}
+
+func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T { return v }
+
+func sumF(a, b float64) float64 { return a + b }
+
+func sumV(a, b []float64) []float64 { return a }
+
+// Recorder mirrors the obs recorder's exported-event surface.
+type Recorder struct{}
+
+func (r *Recorder) Now() int64                                    { return 0 }
+func (r *Recorder) PhaseSpan(op string, a, b float64, wall int64) {}
+func (r *Recorder) Instant(op string, peer, tag int, sim float64) {}
+
+// Rand mirrors internal/prng: explicitly seeded, safe by contract.
+type Rand struct{}
+
+func (r *Rand) Float64() float64 { return 0 }

@@ -1,0 +1,66 @@
+package fixture
+
+// bcastLoop: the root sends the same value to every rank — Bcast.
+func bcastLoop(c *Comm, v []float64) {
+	if c.Rank() == 0 {
+		for i := 1; i < c.Size(); i++ { // WANT rolledcoll
+			Send(c, i, 7, v)
+		}
+	} else {
+		_ = Recv[[]float64](c, 0, 7)
+	}
+}
+
+// scatterLoop: the root sends the i-th slice to each rank — Scatter.
+// The bound is spelled through a variable holding the world size.
+func scatterLoop(c *Comm, parts [][]float64) {
+	size := c.Size()
+	for i := 1; i < size; i++ { // WANT rolledcoll
+		Send(c, i, 9, parts[i])
+	}
+}
+
+// gatherLoop: every rank's contribution lands at one rank — Gather.
+func gatherLoop(c *Comm) [][]float64 {
+	out := make([][]float64, c.Size())
+	for i := 1; i < c.Size(); i++ { // WANT rolledcoll
+		out[i] = Recv[[]float64](c, i, 11)
+	}
+	return out
+}
+
+// reduceLoop: the received contributions are folded — Reduce.
+func reduceLoop(c *Comm) float64 {
+	total := 0.0
+	for i := 1; i < c.Size(); i++ { // WANT rolledcoll
+		total += Recv[float64](c, i, 13)
+	}
+	return total
+}
+
+// alltoallLoop: a symmetric exchange with every rank — Alltoall.
+func alltoallLoop(c *Comm, parts []int) []int {
+	out := make([]int, c.Size())
+	for i := 0; i < c.Size(); i++ { // WANT rolledcoll
+		if i == c.Rank() {
+			out[i] = parts[i]
+			continue
+		}
+		Send(c, i, 15, parts[i])
+		out[i] = Recv[int](c, i, 15)
+	}
+	return out
+}
+
+// sendTo wraps the send; the destination is a parameter in its summary.
+func sendTo(c *Comm, dst int, v []byte) {
+	Send(c, dst, 17, v)
+}
+
+// helperLoop: the rank-indexed send hides inside a helper — the
+// interprocedural peer fact.
+func helperLoop(c *Comm, v []byte) {
+	for i := 1; i < c.Size(); i++ { // WANT rolledcoll
+		sendTo(c, i, v)
+	}
+}

@@ -1,0 +1,34 @@
+package fixture
+
+// ringShift exchanges with rank-derived neighbors; the loop bound is a
+// round count, not the world size.
+func ringShift(c *Comm, v int, rounds int) int {
+	size := c.Size()
+	for i := 0; i < rounds; i++ {
+		Send(c, (c.Rank()+1)%size, 7, v)
+		v = Recv[int](c, (c.Rank()-1+size)%size, 7)
+	}
+	return v
+}
+
+// fanData loops over data items with a fixed peer — a streaming send,
+// not a collective shape.
+func fanData(c *Comm, xs []int) {
+	for i := 0; i < len(xs); i++ {
+		Send(c, 1, 9, xs[i])
+	}
+}
+
+// realCollective is what the rule's message points at.
+func realCollective(c *Comm, v []float64) []float64 {
+	return Allreduce(c, v, sum)
+}
+
+// allowedLinear documents a deliberate linear loop (e.g. a baseline
+// being benchmarked against the tree implementation).
+func allowedLinear(c *Comm, v int) {
+	//peachyvet:allow rolledcoll
+	for i := 1; i < c.Size(); i++ {
+		Send(c, i, 11, v)
+	}
+}

@@ -29,6 +29,13 @@ func sharedBcast(c *Comm, w []float64) {
 	w[1] = 2 // WANT useaftersend
 }
 
+// The Allreduce *argument* is reusable after return (see good.go), but
+// the *result* is the broadcast snapshot shared by every rank.
+func sharedAllreduceResult(c *Comm, w []float64) {
+	red := Allreduce(c, w, sumSlices)
+	red[0] = 3 // WANT useaftersend
+}
+
 // The write happens inside a helper — the mutation summary carries it
 // back to the call site.
 func viaHelper(c *Comm, buf []float64) {

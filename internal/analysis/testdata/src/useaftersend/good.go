@@ -37,6 +37,30 @@ func readOnlyHelper(c *Comm, buf []float64) float64 {
 	return sum(buf)
 }
 
+// An Allreduce payload is reusable the moment the call returns: the
+// recursive-doubling path sends clones and the reduce+bcast fallback
+// snapshots at the root before broadcasting. Zeroing the hoisted buffer
+// for the next round is the pattern the hotalloc rule recommends. The
+// *result* stays shared and must not be written (see bad.go).
+func reuseAllreducePayload(c *Comm, rounds int) {
+	buf := make([]float64, 8)
+	for i := 0; i < rounds; i++ {
+		for j := range buf {
+			buf[j] = 0
+		}
+		buf[0] = float64(i)
+		red := Allreduce(c, buf, sumSlices)
+		_ = red[0]
+	}
+}
+
+func sumSlices(a, b []float64) []float64 {
+	for i := range b {
+		a[i] += b[i]
+	}
+	return a
+}
+
 func sum(xs []float64) float64 {
 	t := 0.0
 	for _, v := range xs {

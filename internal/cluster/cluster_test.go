@@ -175,6 +175,41 @@ func TestAllreduceSlice(t *testing.T) {
 	}
 }
 
+// TestAllreducePayloadReuse pins the payload-reuse contract the static
+// analyzer (hotalloc, and the ownership engine's Allreduce exemption)
+// relies on: the payload argument may be zeroed and refilled the moment
+// the call returns, on both the recursive-doubling path (P = 2ᵏ) and
+// the reduce+bcast fallback (odd P), without corrupting any rank's
+// result — the pattern of a reduction buffer hoisted out of a hot loop.
+func TestAllreducePayloadReuse(t *testing.T) {
+	for _, P := range []int{4, 3} { // recursive doubling, then fallback
+		w := NewWorld(P)
+		err := w.Run(func(c *Comm) {
+			buf := make([]float64, 2)
+			for it := 0; it < 5; it++ {
+				for j := range buf {
+					buf[j] = 0
+				}
+				buf[0] = float64(c.Rank())
+				buf[1] = float64(it)
+				red := Allreduce(c, buf, SumFloat64s)
+				// Immediately scribble over the payload argument: no
+				// other rank's view of the reduction may change.
+				buf[0], buf[1] = -1, -1
+				c.Barrier()
+				wantSum := float64(P*(P-1)) / 2
+				if red[0] != wantSum || red[1] != float64(it*P) {
+					t.Errorf("P=%d rank %d it %d: red = %v, want [%v %v]",
+						P, c.Rank(), it, red, wantSum, it*P)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 func TestAllreduceProperty(t *testing.T) {
 	// Allreduce max over random per-rank values equals the true max on
 	// every rank.

@@ -146,11 +146,26 @@ func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
 	tag := c.nextCollTag()
 	size := c.Size()
 	if !c.baselineColl() && size > 1 && isPow2(size) {
-		if _, ok := clonePayload(v); ok {
-			return rdAllreduce(c, tag, v, op)
+		// The gate's clone doubles as the private accumulator: ops
+		// commonly mutate and return their first operand, and the
+		// payload-reuse contract promises the caller's argument stays
+		// read-only and unaliased by the result.
+		if acc, ok := clonePayload(v); ok {
+			return rdAllreduce(c, tag, acc, op)
 		}
 	}
 	r := reduceTree(c, 0, tag, v, op)
+	if c.rank == 0 {
+		// The reduced value may alias the caller's payload (reduction ops
+		// commonly fold in place and return their first operand), so the
+		// root broadcasts a snapshot. Together with the recursive-doubling
+		// path, which only ever sends clones, this makes the Allreduce
+		// payload argument reusable as soon as the call returns — the
+		// contract the analyzer's ownership and hotalloc rules rely on.
+		if snap, ok := clonePayload(r); ok {
+			r = snap
+		}
+	}
 	return bcastTree(c, 0, tag, r)
 }
 
@@ -159,8 +174,10 @@ func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
 // of its accumulator, never the live value, because op may mutate its
 // first argument in place while the partner is still reading what it
 // received — the in-process, zero-copy analogue of MPI's private buffers.
-func rdAllreduce[T any](c *Comm, tag int, v T, op func(a, b T) T) T {
-	acc := v
+// rdAllreduce runs recursive doubling. acc must already be a private
+// snapshot of the caller's payload (Allreduce's snapshotability gate
+// provides it), so the fold never touches the caller's buffer.
+func rdAllreduce[T any](c *Comm, tag int, acc T, op func(a, b T) T) T {
 	for mask := 1; mask < c.Size(); mask <<= 1 {
 		partner := c.rank ^ mask
 		snap, ok := clonePayload(acc)

@@ -132,25 +132,48 @@ func AllreduceSub[T any](s *SubComm, v T, op func(a, b T) T) T {
 	defer s.parent.endColl()
 	tag := s.nextCollTag()
 	r := subReduceTree(s, 0, tag, v, op)
+	if s.rank == 0 {
+		// Same payload-reuse contract as Allreduce: the reduced value may
+		// alias the caller's payload, so the group root broadcasts a
+		// snapshot instead of the live buffer.
+		if snap, ok := clonePayload(r); ok {
+			r = snap
+		}
+	}
 	return subBcastTree(s, 0, tag, r)
 }
 
-// GatherSub collects one value per group member onto the group root.
+// GatherSub collects one value per group member onto the group root via
+// the binomial gather tree on root-relative group ranks: each subtree
+// leader accumulates the contiguous segment of relative ranks it covers
+// and forwards it to its parent in one message, O(log |group|) rounds
+// instead of |group|-1 serialized receives at the root.
 func GatherSub[T any](s *SubComm, root int, v T) []T {
 	s.parent.beginColl("GatherSub", root)
 	defer s.parent.endColl()
 	tag := s.nextCollTag()
-	if s.rank != root {
-		Send(s.parent, s.ranks[root], tag, v)
-		return nil
-	}
-	out := make([]T, s.Size())
-	out[root] = v
-	for r := 0; r < s.Size(); r++ {
-		if r == root {
-			continue
+	size := s.Size()
+	rel := (s.rank - root + size) % size
+	seg := make([]T, 1, 2)
+	seg[0] = v // seg[i] holds relative group rank rel+i's value
+	for mask := 1; mask < size; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := ((rel &^ mask) + root) % size
+			// Raw ops, as in gatherTree: seg is handed off exactly once
+			// and never touched again, and segmentBytes models the real
+			// segment size on the wire.
+			s.parent.sendRaw(s.ranks[dst], tag, seg, segmentBytes(seg))
+			return nil
 		}
-		out[r] = Recv[T](s.parent, s.ranks[r], tag)
+		srcRel := rel | mask
+		if srcRel < size {
+			msg := s.parent.recvRaw(s.ranks[(srcRel+root)%size], tag)
+			seg = append(seg, msg.payload.([]T)...)
+		}
+	}
+	out := make([]T, size)
+	for i, x := range seg {
+		out[(i+root)%size] = x
 	}
 	return out
 }

@@ -515,10 +515,16 @@ func RunDistributed(world *cluster.World, points [][]float64, opts Options) (*Re
 		converged := false
 
 		var ci centIndex
+		buf := make([]float64, k*dim+k+1) // sums | counts | changes
 		for it := 0; it < opts.MaxIter; it++ {
-			// Local assignment + local partial sums.
+			// Local assignment + local partial sums. The reduction buffer
+			// is hoisted out of the loop and zeroed per iteration:
+			// Allreduce snapshots its payload, so the argument is free for
+			// reuse as soon as the call returns.
 			ci.rebuild(cents)
-			buf := make([]float64, k*dim+k+1) // sums | counts | changes
+			for i := range buf {
+				buf[i] = 0
+			}
 			for i, p := range local {
 				cl := ci.nearest(p)
 				if cl != assign[i] {
@@ -532,17 +538,17 @@ func RunDistributed(world *cluster.World, points [][]float64, opts Options) (*Re
 				buf[k*dim+cl]++
 			}
 			// One distributed reduction for everything.
-			buf = cluster.Allreduce(c, buf, cluster.SumFloat64s)
+			red := cluster.Allreduce(c, buf, cluster.SumFloat64s)
 
 			maxMove := 0.0
 			for cl := 0; cl < k; cl++ {
-				cnt := buf[k*dim+cl]
+				cnt := red[k*dim+cl]
 				if cnt == 0 {
 					continue
 				}
 				move := 0.0
 				for d := 0; d < dim; d++ {
-					nv := buf[cl*dim+d] / cnt
+					nv := red[cl*dim+d] / cnt
 					diff := nv - cents[cl][d]
 					move += diff * diff
 					cents[cl][d] = nv
@@ -551,7 +557,7 @@ func RunDistributed(world *cluster.World, points [][]float64, opts Options) (*Re
 					maxMove = m
 				}
 			}
-			changes := int(buf[k*dim+k])
+			changes := int(red[k*dim+k])
 			iterations++
 			changesPerIter = append(changesPerIter, changes)
 			if changes <= opts.MinChanges || maxMove <= opts.MaxMove {

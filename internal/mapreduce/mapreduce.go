@@ -32,6 +32,15 @@ type batch[K comparable, V any] struct {
 // WireSize implements cluster.Sizer.
 func (b batch[K, V]) WireSize() int { return len(b.Pairs) * b.PairBytes }
 
+// bucket holds one destination rank's emissions: the values per key plus
+// the keys in first-emission order. The exchange serializes pairs in that
+// recorded order — never in map iteration order, which Go randomizes per
+// run and which would otherwise leak into the wire payload.
+type bucket[K comparable, V any] struct {
+	vals  map[K][]V
+	order []K
+}
+
 // Job describes a MapReduce computation over inputs of type I, emitting
 // (K, V) pairs and reducing each key to an R.
 type Job[I any, K comparable, V, R any] struct {
@@ -65,14 +74,19 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 	// Map phase: bucket emissions by destination rank.
 	mapWall := rec.Now()
 	mapSim := c.Clock()
-	buckets := make([]map[K][]V, size)
+	buckets := make([]bucket[K, V], size)
 	for r := range buckets {
-		buckets[r] = make(map[K][]V)
+		buckets[r].vals = make(map[K][]V)
 	}
 	var emitted int64
 	emit := func(k K, v V) {
 		dst := int(hashKey(k) % uint64(size))
-		buckets[dst][k] = append(buckets[dst][k], v)
+		b := &buckets[dst]
+		vs, seen := b.vals[k]
+		if !seen {
+			b.order = append(b.order, k)
+		}
+		b.vals[k] = append(vs, v)
 		emitted++
 	}
 	for _, in := range inputs {
@@ -87,18 +101,16 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 		combWall := rec.Now()
 		combSim := c.Clock()
 		var kept int64
-		for _, b := range buckets {
-			for k, vs := range b {
-				if len(vs) > 1 {
+		for i := range buckets {
+			b := &buckets[i]
+			for _, k := range b.order {
+				if vs := b.vals[k]; len(vs) > 1 {
 					cv := j.Combine(k, vs)
-					b[k] = append(vs[:0], cv)
+					b.vals[k] = append(vs[:0], cv)
 				}
 			}
-			if rec.Enabled() {
-				for _, vs := range b {
-					kept += int64(len(vs))
-				}
-			}
+			// Post-combine every key holds exactly one value.
+			kept += int64(len(b.order))
 		}
 		rec.PhaseSpan("mr.combine", combSim, c.Clock(), combWall,
 			obs.KV{K: "pairs_in", V: emitted}, obs.KV{K: "pairs_out", V: kept})
@@ -106,14 +118,15 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 
 	// Aggregate phase: total exchange of pair batches.
 	parts := make([]batch[K, V], size)
-	for r, b := range buckets {
+	for r := range buckets {
+		b := &buckets[r]
 		n := 0
-		for _, vs := range b {
+		for _, vs := range b.vals {
 			n += len(vs)
 		}
 		ps := make([]Pair[K, V], 0, n)
-		for k, vs := range b {
-			for _, v := range vs {
+		for _, k := range b.order {
+			for _, v := range b.vals[k] {
 				ps = append(ps, Pair[K, V]{k, v})
 			}
 		}

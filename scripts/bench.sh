@@ -48,6 +48,9 @@ go test -run '^$' -bench "$ROOT_RE" -benchmem -benchtime "$BENCHTIME" . | tee -a
 echo "== analyzer ownership pass benchmark (benchtime=$BENCHTIME)"
 go test -run '^$' -bench BenchmarkAnalyzeOwnership -benchmem -benchtime "$BENCHTIME" ./internal/analysis | tee -a "$TMP"
 
+echo "== analyzer perf/determinism pass benchmark (benchtime=$BENCHTIME)"
+go test -run '^$' -bench BenchmarkAnalyzePerf -benchmem -benchtime "$BENCHTIME" ./internal/analysis | tee -a "$TMP"
+
 mkdir -p "$(dirname "$OUT")"
 awk -v host="$(uname -sm)" -v gover="$(go version | awk '{print $3}')" \
 	-v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '

@@ -29,6 +29,10 @@ echo "== peachyvet -sarif artifact"
 go run ./cmd/peachyvet -sarif ./... > out/peachyvet.sarif
 echo "wrote out/peachyvet.sarif"
 
+echo "== peachyvet -stats artifact"
+go run ./cmd/peachyvet -stats ./... > out/peachyvet-stats.json
+echo "wrote out/peachyvet-stats.json"
+
 echo "== observability smoke (trace + metrics + obs-lint)"
 mkdir -p out
 go run ./cmd/knn -variant mapreduce -ranks 4 -n 2000 -q 500 \
