@@ -61,7 +61,13 @@ func main() {
 		ens = ensemble.TrainWithCulling(train, val, cfgs, 0, 1, *cull)
 		fmt.Printf("culling kept %d of %d members\n", len(ens.Members), len(cfgs))
 	} else {
-		world := cluster.NewWorld(*ranks)
+		// In-process world of -ranks goroutines, or — under `peachy
+		// launch` — this process's single rank of a multi-process world.
+		world, err := cluster.OpenWorld(*ranks, cluster.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		defer world.Close()
 		if obsCLI.Enabled() {
 			trace = world.Observe()
 		}
@@ -70,16 +76,23 @@ func main() {
 			fatal(err)
 		}
 		ens = e
-		mode := "static"
-		if *dynamic {
-			mode = "dynamic"
+		if ens != nil {
+			mode := "static"
+			if *dynamic {
+				mode = "dynamic"
+			}
+			fmt.Printf("distribution: %s over %d ranks, per-rank loads %v (imbalance %.2f)\n",
+				mode, world.Size(), report.PerRank, report.Imbalance())
 		}
-		fmt.Printf("distribution: %s over %d ranks, per-rank loads %v (imbalance %.2f)\n",
-			mode, *ranks, report.PerRank, report.Imbalance())
 	}
 	fmt.Printf("training wall time: %.2fs\n", time.Since(start).Seconds())
 	if err := obsCLI.Emit(trace); err != nil {
 		fatal(err)
+	}
+	if ens == nil {
+		// Launched non-lead rank: the gathered ensemble lives in the
+		// rank-0 process, which does all the reporting.
+		return
 	}
 
 	best := ens.Best()

@@ -58,18 +58,30 @@ func main() {
 	start := time.Now()
 	var trace *obs.Trace
 	var res *kmeans.Result
+	lead := true // the process that prints the once-per-world result
 	if *distributed {
-		world := cluster.NewWorld(*ranks)
+		// In-process world of -ranks goroutines, or — when spawned by
+		// `peachy launch` — this process's single rank of a multi-process
+		// world on the net device.
+		world, err := cluster.OpenWorld(*ranks, cluster.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		defer world.Close()
+		lead = world.Lead()
 		if obsCLI.Enabled() {
 			trace = world.Observe()
 		}
-		var err error
 		res, err = kmeans.RunDistributed(world, points, opts)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("cluster: %d messages, %d bytes, simulated time %.2g s\n",
-			world.TotalMessages(), world.TotalBytes(), world.SimTime())
+		scope := ""
+		if world.Launched() {
+			scope = fmt.Sprintf(" (rank %d of %d)", world.LocalRank(), world.Size())
+		}
+		fmt.Printf("cluster%s: %d messages, %d bytes, simulated time %.2g s\n",
+			scope, world.TotalMessages(), world.TotalBytes(), world.SimTime())
 	} else {
 		var rec *obs.Recorder
 		if obsCLI.Enabled() {
@@ -86,11 +98,16 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("n=%d d=%d K=%d strategy=%s: %.3fs, %d iterations (converged=%v), WCSS=%.2f\n",
-		len(points), len(points[0]), *k, *strategy,
-		elapsed.Seconds(), res.Iterations, res.Converged, res.WCSS(points))
-	if len(res.ChangesPerIter) > 0 {
-		fmt.Printf("cluster changes per iteration: %v\n", res.ChangesPerIter)
+	// Only the lead process reports the global result: in a launched
+	// world the gathered assignment (and so WCSS) exists on rank 0 only,
+	// and the numbers are identical to an in-process run anyway.
+	if lead {
+		fmt.Printf("n=%d d=%d K=%d strategy=%s: %.3fs, %d iterations (converged=%v), WCSS=%.2f\n",
+			len(points), len(points[0]), *k, *strategy,
+			elapsed.Seconds(), res.Iterations, res.Converged, res.WCSS(points))
+		if len(res.ChangesPerIter) > 0 {
+			fmt.Printf("cluster changes per iteration: %v\n", res.ChangesPerIter)
+		}
 	}
 }
 

@@ -61,6 +61,7 @@ func main() {
 	start := time.Now()
 	var trace *obs.Trace
 	var pred []int
+	lead := true // the process that reports the once-per-world result
 	switch *variant {
 	case "sort", "heap", "parallel", "kdtree":
 		var rec *obs.Recorder
@@ -83,11 +84,17 @@ func main() {
 		rec.WallSpan("knn."+*variant, wall,
 			obs.KV{K: "queries", V: int64(len(queries))}, obs.KV{K: "db", V: int64(db.Len())})
 	case "mapreduce":
-		world := cluster.NewWorld(*ranks)
+		// In-process world of -ranks goroutines, or — under `peachy
+		// launch` — this process's single rank of a multi-process world.
+		world, err := cluster.OpenWorld(*ranks, cluster.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		defer world.Close()
+		lead = world.Lead()
 		if obsCLI.Enabled() {
 			trace = world.Observe()
 		}
-		var err error
 		pred, err = knn.MapReduce(world, db, queries, *k, *combiner)
 		if err != nil {
 			fatal(err)
@@ -102,9 +109,13 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("variant=%s n=%d q=%d d=%d k=%d: %.3fs, accuracy %.4f\n",
-		*variant, db.Len(), len(queries), db.Dim, *k,
-		elapsed.Seconds(), knn.Accuracy(pred, labels))
+	// Predictions are gathered to rank 0, so only the lead process can
+	// score them; in a launched world the other ranks stop here.
+	if lead {
+		fmt.Printf("variant=%s n=%d q=%d d=%d k=%d: %.3fs, accuracy %.4f\n",
+			*variant, db.Len(), len(queries), db.Dim, *k,
+			elapsed.Seconds(), knn.Accuracy(pred, labels))
+	}
 }
 
 func fatal(err error) {

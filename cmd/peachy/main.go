@@ -7,6 +7,14 @@
 //	peachy repro -only fig3     # one exhibit
 //	peachy repro -out /tmp/out  # choose the output directory
 //	peachy vet ./...            # SPMD correctness analysis (peachyvet)
+//
+// It is also the multi-process world launcher (the repo's mpirun):
+//
+//	peachy launch -np 4 ./out/kmeans -distributed ...
+//
+// spawns 4 copies of the binary, each holding one rank on the net
+// device, wired over loopback sockets via the PEACHY_* env contract
+// that cluster.OpenWorld reads.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"os"
 
 	"repro/internal/analysis"
+	"repro/internal/cluster/launch"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -36,6 +45,21 @@ func main() {
 		}
 	case "vet":
 		os.Exit(analysis.Main(os.Args[2:], os.Stdout, os.Stderr))
+	case "launch":
+		fs := flag.NewFlagSet("launch", flag.ExitOnError)
+		np := fs.Int("np", 4, "number of ranks (one process per rank)")
+		netw := fs.String("net", "unix", "transport: unix (socket files) | tcp (loopback ports)")
+		raw := fs.Bool("raw-output", false, "do not prefix non-root ranks' output lines with [rank r]")
+		_ = fs.Parse(os.Args[2:])
+		if fs.NArg() == 0 {
+			fmt.Fprintln(os.Stderr, "peachy launch: no program given (usage: peachy launch -np 4 [-net unix|tcp] prog args...)")
+			os.Exit(2)
+		}
+		if err := launch.Run(launch.Config{
+			NP: *np, Network: *netw, Argv: fs.Args(), Prefix: !*raw,
+		}); err != nil {
+			fatal(err)
+		}
 	case "obs-lint":
 		if len(os.Args) < 3 {
 			fmt.Fprintln(os.Stderr, "peachy obs-lint: no files given")
@@ -99,7 +123,8 @@ func usage() {
   peachy repro [-out dir] [-quick] [-only id]
   peachy verify
   peachy vet [-rules r1,r2] [-q] [-json|-sarif] [./... | dir ...]
-  peachy obs-lint trace-or-metrics.json ...`)
+  peachy obs-lint trace-or-metrics.json ...
+  peachy launch -np 4 [-net unix|tcp] [-raw-output] prog args...`)
 }
 
 func fatal(err error) {

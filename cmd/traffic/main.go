@@ -121,8 +121,16 @@ func main() {
 	}
 	start := time.Now()
 	var trace *obs.Trace
+	lead := true // the process that reports the once-per-world result
 	if *ranks > 0 {
-		world := cluster.NewWorld(*ranks)
+		// In-process world of -ranks goroutines, or — under `peachy
+		// launch` — this process's single rank of a multi-process world.
+		world, err := cluster.OpenWorld(*ranks, cluster.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		defer world.Close()
+		lead = world.Lead()
 		if obsCLI.Enabled() {
 			trace = world.Observe()
 		}
@@ -146,10 +154,14 @@ func main() {
 	if err := obsCLI.Emit(trace); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("cars=%d road=%d p=%.2f vmax=%d steps=%d mode=%s: %.3fs\n",
-		*cars, *roadLen, *p, *vmax, *steps, m, elapsed.Seconds())
-	fmt.Printf("mean velocity %.3f, flow %.3f cars/cell/step, fingerprint %016x\n",
-		s.MeanVelocity(), s.Flow(), s.Fingerprint())
+	// The gathered final state (and so the fingerprint) exists on rank 0
+	// only; in a launched world the other ranks stop here.
+	if lead {
+		fmt.Printf("cars=%d road=%d p=%.2f vmax=%d steps=%d mode=%s: %.3fs\n",
+			*cars, *roadLen, *p, *vmax, *steps, m, elapsed.Seconds())
+		fmt.Printf("mean velocity %.3f, flow %.3f cars/cell/step, fingerprint %016x\n",
+			s.MeanVelocity(), s.Flow(), s.Fingerprint())
+	}
 }
 
 func fatal(err error) {

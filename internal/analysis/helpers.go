@@ -145,7 +145,7 @@ func firstArgIdent(call *ast.CallExpr) string {
 // involve communicator comm (calls whose communicator cannot be derived
 // are included; calls on a different, known communicator are not). It
 // does not descend into nested function literals.
-func collectColls(n ast.Node, comm string) []collCall {
+func collectColls(u *Unit, n ast.Node, comm string) []collCall {
 	var out []collCall
 	if n == nil {
 		return nil
@@ -155,7 +155,9 @@ func collectColls(n ast.Node, comm string) []collCall {
 		case *ast.FuncLit:
 			return false
 		case *ast.CallExpr:
-			if cc, ok := asCollective(c); ok {
+			if cc, ok := asCollective(c); ok && u.clusterCall(c) {
+				// clusterCall screens out namesakes from other packages
+				// (strings.Split is not a communicator split).
 				if comm == "" || cc.comm == "" || cc.comm == comm {
 					out = append(out, cc)
 				}

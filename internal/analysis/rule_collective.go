@@ -12,6 +12,7 @@ import (
 // rank calls the same collectives in the same order, and both of which
 // deadlock (or worse, cross-match) at runtime.
 func checkCollective(u *Unit, r *reporter) {
+	u.ensureTypes() // to tell c.Split from strings.Split
 	funcBodies(u, func(name string, body *ast.BlockStmt) {
 		scanStmtsForDivergence(u, r, body.List, nil)
 	})
@@ -88,15 +89,15 @@ func checkRankIf(u *Unit, r *reporter, ifs *ast.IfStmt, rest []ast.Stmt, tails [
 
 	var later []collCall
 	for _, s := range rest {
-		later = append(later, collectColls(s, comm)...)
+		later = append(later, collectColls(u, s, comm)...)
 	}
 	for _, tail := range tails {
 		for _, s := range tail {
-			later = append(later, collectColls(s, comm)...)
+			later = append(later, collectColls(u, s, comm)...)
 		}
 	}
 
-	thenSeq := collectColls(ifs.Body, comm)
+	thenSeq := collectColls(u, ifs.Body, comm)
 	if !terminates(ifs.Body) {
 		thenSeq = append(thenSeq, later...)
 	}
@@ -104,10 +105,10 @@ func checkRankIf(u *Unit, r *reporter, ifs *ast.IfStmt, rest []ast.Stmt, tails [
 	elseTerm := false
 	switch e := ifs.Else.(type) {
 	case *ast.BlockStmt:
-		elseSeq = collectColls(e, comm)
+		elseSeq = collectColls(u, e, comm)
 		elseTerm = terminates(e)
 	case *ast.IfStmt:
-		elseSeq = collectColls(e, comm)
+		elseSeq = collectColls(u, e, comm)
 		elseTerm = allElseTerminates(e)
 	}
 	if !elseTerm {

@@ -139,6 +139,11 @@ type mailbox struct {
 	nPending int
 	seq      uint64 // next arrival stamp
 	closed   bool
+	// peerDown marks sources whose transport link is gone (net device
+	// only: the reader goroutine for that peer saw the connection close or
+	// reset). A receive blocked on a down source fails immediately with a
+	// dead-peer diagnosis instead of hanging until the Verify timeout.
+	peerDown []error
 
 	waitActive bool // a take is currently blocked
 	waitSrc    int  // the (src, tag) that take is blocked on
@@ -173,26 +178,27 @@ func (m *mailbox) put(msg message) {
 	}
 }
 
-// match finds and removes the matching pending message, if any. For a
-// concrete src it scans only that source's bucket (the head in the
-// typical in-order case); for AnySource it takes the earliest-arrived
+// peek locates the pending message Recv(src, tag) would deliver next,
+// without removing it, returning the owning bucket and absolute index.
+// For a concrete src it scans only that source's bucket (the head in the
+// typical in-order case); for AnySource it finds the earliest-arrived
 // match across buckets, preserving the previous global arrival-order
-// semantics. Caller holds m.mu.
-func (m *mailbox) match(src, tag int) (message, bool) {
+// semantics. peek is the single matching scan: match (and so Recv and
+// TryRecv) and Probe/ProbeNext all go through it, so a probe can never
+// name a different "next message" than the receive that follows it.
+// Caller holds m.mu.
+func (m *mailbox) peek(src, tag int) (bkt, idx int, ok bool) {
 	if m.nPending == 0 {
-		return message{}, false
+		return 0, 0, false
 	}
 	if src != AnySource {
 		b := &m.bySrc[src]
 		for i := b.head; i < len(b.items); i++ {
 			if tagMatches(tag, b.items[i].tag) {
-				msg := b.items[i]
-				b.removeAt(i)
-				m.nPending--
-				return msg, true
+				return src, i, true
 			}
 		}
-		return message{}, false
+		return 0, 0, false
 	}
 	bestBucket, bestIdx := -1, -1
 	var bestSeq uint64
@@ -208,11 +214,21 @@ func (m *mailbox) match(src, tag int) (message, bool) {
 		}
 	}
 	if bestBucket < 0 {
+		return 0, 0, false
+	}
+	return bestBucket, bestIdx, true
+}
+
+// match finds and removes the matching pending message, if any. Caller
+// holds m.mu.
+func (m *mailbox) match(src, tag int) (message, bool) {
+	bkt, idx, ok := m.peek(src, tag)
+	if !ok {
 		return message{}, false
 	}
-	b := &m.bySrc[bestBucket]
-	msg := b.items[bestIdx]
-	b.removeAt(bestIdx)
+	b := &m.bySrc[bkt]
+	msg := b.items[idx]
+	b.removeAt(idx)
 	m.nPending--
 	return msg, true
 }
@@ -245,6 +261,16 @@ func (m *mailbox) take(src, tag int, c *Comm) (message, error) {
 		}
 		if m.closed {
 			return message{}, fmt.Errorf("%w while waiting for src=%d tag=%d", errWorldAborted, src, tag)
+		}
+		if err := m.peerDownErr(src); err != nil {
+			// A dead peer is a different diagnosis than a deadlock: the
+			// message this rank is waiting for can never arrive because the
+			// process that would send it is gone. Rendering the diagnosis
+			// re-reads this mailbox (downPeers), so drop our lock first.
+			m.mu.Unlock()
+			derr := c.world.deadPeerError(c.rank, src, tag, err)
+			m.mu.Lock()
+			return message{}, derr
 		}
 		if timeout > 0 && !time.Now().Before(deadline) {
 			// Drop our own lock before walking every rank's mailbox so two
@@ -286,12 +312,69 @@ func (m *mailbox) close() {
 	m.cond.Broadcast()
 }
 
-// World is a set of ranks that can run SPMD programs.
+// markPeerDown records that the transport link to src is gone (net device
+// reader goroutines call it on connection close/reset) and wakes the
+// owning rank so a blocked receive can fail with a dead-peer diagnosis.
+func (m *mailbox) markPeerDown(src int, err error) {
+	m.mu.Lock()
+	if m.peerDown == nil {
+		m.peerDown = make([]error, len(m.bySrc))
+	}
+	if m.peerDown[src] == nil {
+		m.peerDown[src] = err
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// peerDownErr reports whether a receive on (src, tag) can still be
+// satisfied. A concrete down source fails immediately; an AnySource wait
+// fails only when every peer link is down and nothing is pending — while
+// one live link remains, the message could still come. Caller holds m.mu.
+func (m *mailbox) peerDownErr(src int) error {
+	if m.peerDown == nil {
+		return nil
+	}
+	if src != AnySource {
+		return m.peerDown[src]
+	}
+	if m.nPending > 0 {
+		return nil
+	}
+	var first error
+	for _, err := range m.peerDown {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	// peerDown has no entry for the local rank itself, so "all remote
+	// peers down" is len-1 non-nil entries.
+	n := 0
+	for _, err := range m.peerDown {
+		if err != nil {
+			n++
+		}
+	}
+	if n >= len(m.peerDown)-1 && first != nil {
+		return first
+	}
+	return nil
+}
+
+// World is a set of ranks that can run SPMD programs. With the default
+// goroutine device every rank lives in this process; on a net device the
+// World is one member of a multi-process world and only the local rank's
+// mailbox and Comm exist here.
 type World struct {
 	size  int
 	opts  Options
-	boxes []*mailbox
-	comms []*Comm
+	boxes []*mailbox // net device: only boxes[local] is non-nil
+	comms []*Comm    // net device: only comms[local] is non-nil
+	dev   Device
+	local int // local rank on a net device; -1 = all ranks in-process
 }
 
 // NewWorld creates a world of size ranks with the default cost model.
@@ -302,7 +385,8 @@ func NewWorldOpts(size int, opts Options) *World {
 	if size < 1 {
 		panic("cluster: world size must be >= 1")
 	}
-	w := &World{size: size, opts: opts}
+	w := &World{size: size, opts: opts, local: -1}
+	w.dev = goroutineDevice{w}
 	w.boxes = make([]*mailbox, size)
 	w.comms = make([]*Comm, size)
 	for r := 0; r < size; r++ {
@@ -317,6 +401,27 @@ func NewWorldOpts(size int, opts Options) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
+// Launched reports whether this World is one process of a multi-process
+// world (a net device joined via `peachy launch` or NewNetWorld). False
+// for the default in-process goroutine device.
+func (w *World) Launched() bool { return w.local >= 0 }
+
+// LocalRank returns the rank this process runs on a net device, or -1
+// when every rank is in-process.
+func (w *World) LocalRank() int { return w.local }
+
+// Lead reports whether this process should own root-rank duties that
+// must happen exactly once per world — printing results, writing output
+// files. True in-process (the whole world is here) and on rank 0 of a
+// multi-process world.
+func (w *World) Lead() bool { return w.local <= 0 }
+
+// Close tears down the transport. A no-op for the in-process device; on
+// a net device it closes every peer connection (remote ranks blocked on
+// this process then fail fast with a dead-peer diagnosis rather than
+// hanging). Exhibits should defer it after OpenWorld.
+func (w *World) Close() error { return w.dev.close() }
+
 // Observe attaches a fresh per-rank trace to the world and returns it.
 // Every message, receive wait and collective from here on is recorded
 // into the trace's lock-free per-rank buffers; export with
@@ -327,7 +432,9 @@ func (w *World) Size() int { return w.size }
 func (w *World) Observe() *obs.Trace {
 	t := obs.NewTrace(w.size)
 	for r, c := range w.comms {
-		c.rec = t.Rank(r)
+		if c != nil {
+			c.rec = t.Rank(r)
+		}
 	}
 	return t
 }
@@ -339,6 +446,9 @@ func (w *World) Observe() *obs.Trace {
 // diagnostic from, e.g., a Verify-mode collective mismatch is never
 // masked by a bystander rank failing first in rank order.
 func (w *World) Run(f func(c *Comm)) error {
+	if w.local >= 0 {
+		return w.runLocal(f)
+	}
 	var wg sync.WaitGroup
 	wg.Add(w.size)
 	errs := make([]error, w.size)
@@ -378,12 +488,33 @@ func (w *World) Run(f func(c *Comm)) error {
 	return fallback
 }
 
+// runLocal is Run on a net device: this process holds exactly one rank,
+// its peers run the same f in their own processes. A panic tears down the
+// transport so remote ranks blocked on this one fail fast with a
+// dead-peer diagnosis instead of hanging until their Verify timeout.
+func (w *World) runLocal(f func(c *Comm)) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if ap, ok := p.(abortPanic); ok {
+				err = fmt.Errorf("cluster: rank %d panicked: %v", w.local, ap.msg)
+			} else {
+				err = fmt.Errorf("cluster: rank %d panicked: %v", w.local, p)
+			}
+			w.boxes[w.local].close()
+			w.dev.close()
+		}
+	}()
+	f(w.comms[w.local])
+	return nil
+}
+
 // SimTime returns the maximum simulated clock over all ranks: the modeled
-// makespan of everything run so far.
+// makespan of everything run so far. On a net device only the local
+// rank's clock is visible; Allreduce the value for a global makespan.
 func (w *World) SimTime() float64 {
 	max := 0.0
 	for _, c := range w.comms {
-		if c.clock > max {
+		if c != nil && c.clock > max {
 			max = c.clock
 		}
 	}
@@ -391,20 +522,26 @@ func (w *World) SimTime() float64 {
 }
 
 // TotalMessages returns the number of point-to-point messages sent
-// (collectives count as their constituent messages).
+// (collectives count as their constituent messages). On a net device
+// only the local rank's counter is visible.
 func (w *World) TotalMessages() int64 {
 	var n int64
 	for _, c := range w.comms {
-		n += c.msgs
+		if c != nil {
+			n += c.msgs
+		}
 	}
 	return n
 }
 
-// TotalBytes returns the total payload bytes sent.
+// TotalBytes returns the total payload bytes sent. On a net device only
+// the local rank's counter is visible.
 func (w *World) TotalBytes() int64 {
 	var n int64
 	for _, c := range w.comms {
-		n += c.bytes
+		if c != nil {
+			n += c.bytes
+		}
 	}
 	return n
 }
@@ -413,7 +550,9 @@ func (w *World) TotalBytes() int64 {
 // experiment phases; ranks must be quiescent.
 func (w *World) ResetStats() {
 	for _, c := range w.comms {
-		c.clock, c.msgs, c.bytes = 0, 0, 0
+		if c != nil {
+			c.clock, c.msgs, c.bytes = 0, 0, 0
+		}
 	}
 }
 
@@ -479,7 +618,7 @@ func (c *Comm) sendRaw(dst, tag int, payload any, bytes int) {
 	if c.rec != nil {
 		c.rec.Send(dst, tag, int64(bytes), simStart, c.clock)
 	}
-	c.world.boxes[dst].put(message{
+	c.world.dev.deliver(dst, message{
 		src: c.rank, tag: tag, payload: payload, bytes: bytes, arrive: c.clock,
 		op: c.curOp, site: c.curSite,
 	})

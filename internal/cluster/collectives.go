@@ -1,6 +1,10 @@
 package cluster
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // Collective matching: every rank must call the same sequence of
 // collectives on its Comm (the usual MPI requirement). Each call consumes
@@ -41,6 +45,32 @@ func (c *Comm) nextCollTag() int {
 // runtime's payloads carry no such contract.
 
 func (c *Comm) baselineColl() bool { return c.world.opts.BaselineCollectives }
+
+// fallbackInstant records that an optimized collective silently took its
+// reference algorithm on a shape the fast path does not cover (non-pow2
+// world, unsnapshotable payload). Without the marker a P=6 benchmark
+// reads like recursive doubling when it actually ran the linear
+// baseline; with a trace attached the downgrade is visible per call.
+// The emitted instant is "coll.fallback" with the collective in the op
+// kv (1 = Allreduce, 2 = Allgather) and the reason kv (1 = non-pow2
+// world, 2 = payload not snapshotable). Never emitted under
+// Options.BaselineCollectives: that is an explicit request, not a
+// silent downgrade.
+func (c *Comm) fallbackInstant(op, reason int64) {
+	if c.rec != nil {
+		c.rec.Instant("coll.fallback", -1, 0, 0, c.clock,
+			obs.KV{K: "op", V: op}, obs.KV{K: "reason", V: reason})
+	}
+}
+
+// fallbackInstant op/reason codes (obs.KV values are int64).
+const (
+	fallbackAllreduce = int64(1)
+	fallbackAllgather = int64(2)
+
+	fallbackNonPow2 = int64(1)
+	fallbackNonSnap = int64(2)
+)
 
 func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
@@ -145,13 +175,17 @@ func Allreduce[T any](c *Comm, v T, op func(a, b T) T) T {
 	defer c.endColl()
 	tag := c.nextCollTag()
 	size := c.Size()
-	if !c.baselineColl() && size > 1 && isPow2(size) {
-		// The gate's clone doubles as the private accumulator: ops
-		// commonly mutate and return their first operand, and the
-		// payload-reuse contract promises the caller's argument stays
-		// read-only and unaliased by the result.
-		if acc, ok := clonePayload(v); ok {
+	if !c.baselineColl() && size > 1 {
+		if !isPow2(size) {
+			c.fallbackInstant(fallbackAllreduce, fallbackNonPow2)
+		} else if acc, ok := clonePayload(v); ok {
+			// The gate's clone doubles as the private accumulator: ops
+			// commonly mutate and return their first operand, and the
+			// payload-reuse contract promises the caller's argument stays
+			// read-only and unaliased by the result.
 			return rdAllreduce(c, tag, acc, op)
+		} else {
+			c.fallbackInstant(fallbackAllreduce, fallbackNonSnap)
 		}
 	}
 	r := reduceTree(c, 0, tag, v, op)
@@ -259,6 +293,9 @@ func Allgather[T any](c *Comm, v T) []T {
 	tag := c.nextCollTag()
 	size := c.Size()
 	if c.baselineColl() || size == 1 || !isPow2(size) {
+		if !c.baselineColl() && size > 1 {
+			c.fallbackInstant(fallbackAllgather, fallbackNonPow2)
+		}
 		return allgatherLinear(c, tag, v)
 	}
 	out := make([]T, size)

@@ -9,7 +9,7 @@ import "repro/internal/obs"
 func (c *Comm) Probe(src, tag int) bool {
 	box := c.world.boxes[c.rank]
 	box.mu.Lock()
-	hit := box.probeLocked(src, tag)
+	_, _, hit := box.probeLocked(src, tag)
 	box.mu.Unlock()
 	if c.rec != nil {
 		c.rec.Instant("probe", src, tag, 0, c.clock, obs.KV{K: "hit", V: boolKV(hit)})
@@ -17,29 +17,37 @@ func (c *Comm) Probe(src, tag int) bool {
 	return hit
 }
 
-// probeLocked is Probe's matching scan. Caller holds m.mu.
-func (m *mailbox) probeLocked(src, tag int) bool {
-	if m.nPending == 0 {
-		return false
+// probeLocked is Probe's matching scan: a non-destructive peek through
+// the same seq-ordered scan Recv matches with. Earlier versions walked
+// the bySrc buckets in rank order, so a wildcard probe could name a
+// match from a low rank while Recv(AnySource) would deliver an
+// earlier-arrived message from a higher rank — Probe/TryRecv and Recv
+// disagreed about which message was "next". Sharing peek makes the
+// disagreement structurally impossible. Caller holds m.mu.
+func (m *mailbox) probeLocked(src, tag int) (msgSrc, msgTag int, ok bool) {
+	bkt, idx, ok := m.peek(src, tag)
+	if !ok {
+		return 0, 0, false
 	}
-	if src != AnySource {
-		b := &m.bySrc[src]
-		for i := b.head; i < len(b.items); i++ {
-			if tagMatches(tag, b.items[i].tag) {
-				return true
-			}
-		}
-		return false
+	msg := &m.bySrc[bkt].items[idx]
+	return msg.src, msg.tag, true
+}
+
+// ProbeNext reports the source and tag of the message a matching
+// Recv(src, tag) would deliver next, without receiving it — MPI_Probe
+// with its status object. The answer is seq-ordered (true arrival
+// order), so the receive that follows is guaranteed to deliver the
+// message ProbeNext named, provided no other message is consumed in
+// between. src may be AnySource and tag AnyTag.
+func (c *Comm) ProbeNext(src, tag int) (msgSrc, msgTag int, ok bool) {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	msgSrc, msgTag, ok = box.probeLocked(src, tag)
+	box.mu.Unlock()
+	if c.rec != nil {
+		c.rec.Instant("probe", src, tag, 0, c.clock, obs.KV{K: "hit", V: boolKV(ok)})
 	}
-	for s := range m.bySrc {
-		b := &m.bySrc[s]
-		for i := b.head; i < len(b.items); i++ {
-			if tagMatches(tag, b.items[i].tag) {
-				return true
-			}
-		}
-	}
-	return false
+	return msgSrc, msgTag, ok
 }
 
 func boolKV(b bool) int64 {

@@ -18,15 +18,14 @@ import (
 // reductions ... again at each multicore node").
 func (c *Comm) Split(color, key int) *SubComm {
 	c.beginColl("Split", -1)
-	type entry struct{ Color, Key, Rank int }
-	mine := entry{color, key, c.rank}
+	mine := splitEntry{color, key, c.rank}
 	all := Allgather(c, mine)
 	c.endColl()
 
 	if color < 0 {
 		return nil
 	}
-	var members []entry
+	var members []splitEntry
 	for _, e := range all {
 		if e.Color == color {
 			members = append(members, e)
@@ -52,6 +51,11 @@ func (c *Comm) Split(color, key int) *SubComm {
 	c.subGen++
 	return &SubComm{parent: c, rank: myIndex, ranks: ranks, gen: c.subGen}
 }
+
+// splitEntry is Split's Allgather payload. Package-level (not a function
+// local) with exported fields so it can cross the net device's gob wire;
+// it is registered in netdev.go's init.
+type splitEntry struct{ Color, Key, Rank int }
 
 // SubComm is a communicator over a subset of a World's ranks. Rank ids are
 // renumbered 0..Size-1 within the group.

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"path/filepath"
 	"runtime"
@@ -110,7 +111,7 @@ func (c *Comm) checkCollStamp(msg message) {
 // their frames so diagnostics point at user code.
 var runtimeFiles = map[string]bool{
 	"cluster.go": true, "collectives.go": true, "split.go": true,
-	"probe.go": true, "verify.go": true,
+	"probe.go": true, "verify.go": true, "device.go": true, "netdev.go": true,
 }
 
 func callerSite() string {
@@ -129,13 +130,68 @@ func callerSite() string {
 	}
 }
 
+// deadPeerError renders the diagnosis for a receive that can never be
+// satisfied because the transport link to the peer is gone — over a real
+// device a dead peer looks exactly like a deadlocked one (a receive that
+// never completes), so the runtime distinguishes them explicitly: a
+// closed/reset connection is reported as a crashed or exited process, not
+// as a suspected communication cycle.
+func (w *World) deadPeerError(rank, src, tag int, cause error) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cluster: rank %d: peer unreachable while waiting for src=%d tag=%d: %v", rank, src, tag, cause)
+	b.WriteString("\n  this is a dead peer (its process exited or crashed), not a deadlock cycle;")
+	b.WriteString("\n  check that rank's own output/exit status for the root cause")
+	if down := w.downPeers(); len(down) > 0 {
+		fmt.Fprintf(&b, "\n  unreachable ranks: %s", strings.Join(down, ", "))
+	}
+	return errors.New(b.String())
+}
+
+// downPeers lists every rank whose link is down, with its state.
+func (w *World) downPeers() []string {
+	if w.local < 0 {
+		return nil
+	}
+	box := w.boxes[w.local]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	var out []string
+	for r, err := range box.peerDown {
+		if err != nil {
+			out = append(out, fmt.Sprintf("rank %d (%s)", r, shortConnState(err)))
+		}
+	}
+	return out
+}
+
+func shortConnState(err error) string {
+	s := err.Error()
+	if i := strings.Index(s, ": "); i >= 0 {
+		return s[i+2:]
+	}
+	return s
+}
+
 // deadlockDump renders every rank's communication state. It is called by
-// a rank whose bounded receive expired, with no mailbox locks held.
+// a rank whose bounded receive expired, with no mailbox locks held. On a
+// net device only the local rank's mailbox exists; remote ranks are
+// described by their transport link state instead, and a closed/reset
+// link is called out as a dead peer rather than folded into the generic
+// cycle hint.
 func (w *World) deadlockDump(rank, src, tag int, waited time.Duration) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "cluster: suspected deadlock: rank %d waited %v for src=%d tag=%d; world state:\n",
 		rank, waited, src, tag)
+	deadPeers := 0
 	for r, box := range w.boxes {
+		if box == nil {
+			info := w.dev.peerInfo(r)
+			if strings.Contains(info, "closed") || strings.Contains(info, "reset") {
+				deadPeers++
+			}
+			fmt.Fprintf(&b, "  rank %d: %s\n", r, info)
+			continue
+		}
 		box.mu.Lock()
 		state := "running"
 		if box.waitActive {
@@ -185,6 +241,10 @@ func (w *World) deadlockDump(rank, src, tag int, waited time.Duration) string {
 		}
 		b.WriteByte('\n')
 	}
-	b.WriteString("  hint: a deadlock here usually means mismatched Send/Recv tags or a rank-divergent collective; run `go run ./cmd/peachyvet ./...` on the code")
+	if deadPeers > 0 {
+		fmt.Fprintf(&b, "  hint: %d peer connection(s) closed/reset — those ranks' processes exited or crashed; this looks like a hang from here but is peer death, not (necessarily) a communication cycle", deadPeers)
+	} else {
+		b.WriteString("  hint: a deadlock here usually means mismatched Send/Recv tags or a rank-divergent collective; run `go run ./cmd/peachyvet ./...` on the code")
+	}
 	return b.String()
 }

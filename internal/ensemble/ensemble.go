@@ -75,7 +75,9 @@ func Train(train, val *dataio.Dataset, cfgs []nn.Config, workers int) *Ensemble 
 // of world (the MPI4Py formulation). mode Static uses block assignment;
 // Dynamic uses the manager-worker farm. The ensemble and the per-rank
 // load report are returned (valid on the caller; the world is run
-// internally).
+// internally). In a launched multi-process world, only the rank-0
+// process receives the ensemble; other ranks get (nil, zero report, nil)
+// and should skip result reporting.
 func TrainDistributed(world *cluster.World, train, val *dataio.Dataset, cfgs []nn.Config, dynamic bool) (*Ensemble, taskfarm.Report, error) {
 	var members []Member
 	var report taskfarm.Report
@@ -97,6 +99,12 @@ func TrainDistributed(world *cluster.World, train, val *dataio.Dataset, cfgs []n
 		return nil, taskfarm.Report{}, err
 	}
 	if members == nil {
+		if world.Launched() && !world.Lead() {
+			// Multi-process world: the farm gathers to rank 0, which lives
+			// in another process. A nil ensemble tells the caller this
+			// rank has no results to report.
+			return nil, taskfarm.Report{}, nil
+		}
 		return nil, taskfarm.Report{}, fmt.Errorf("ensemble: no results gathered")
 	}
 	return &Ensemble{Members: members}, report, nil

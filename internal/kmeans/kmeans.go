@@ -469,6 +469,12 @@ func updatePhase(points [][]float64, assign []int, k, dim int, opts Options) ([]
 // phase is one Allreduce of (sums, counts, changes) — after which every
 // rank updates its replicated centroids identically. The full Result
 // (with the gathered global assignment) is returned.
+//
+// On a multi-process world (net device) each process returns its local
+// rank's Result: centroids, iteration counts and convergence are
+// replicated — identical on every rank — but the gathered global Assign
+// lands only on rank 0, so non-lead processes get a Result with Assign
+// nil. Gate WCSS/assignment consumers on world.Lead().
 func RunDistributed(world *cluster.World, points [][]float64, opts Options) (*Result, error) {
 	n := len(points)
 	if n == 0 {
@@ -566,27 +572,34 @@ func RunDistributed(world *cluster.World, points [][]float64, opts Options) (*Re
 			}
 		}
 
-		// Gather assignments back to root.
+		// Gather assignments back to root; every rank records its
+		// (replicated) view so a non-root process of a multi-process
+		// world still returns the shared outcome.
 		gathered := cluster.Gather(c, 0, assign)
+		res := &Result{
+			Centroids:      cents,
+			Iterations:     iterations,
+			ChangesPerIter: changesPerIter,
+			Converged:      converged,
+		}
 		if c.Rank() == 0 {
 			full := make([]int, 0, n)
 			for _, g := range gathered {
 				full = append(full, g...)
 			}
-			results[0] = &Result{
-				Centroids:      cents,
-				Assign:         full,
-				Iterations:     iterations,
-				ChangesPerIter: changesPerIter,
-				Converged:      converged,
-			}
+			res.Assign = full
 		}
+		results[c.Rank()] = res
 	})
 	if err != nil {
 		return nil, err
 	}
-	if results[0] == nil {
+	mine := 0
+	if world.Launched() {
+		mine = world.LocalRank()
+	}
+	if results[mine] == nil {
 		return nil, fmt.Errorf("kmeans: distributed run produced no result")
 	}
-	return results[0], nil
+	return results[mine], nil
 }

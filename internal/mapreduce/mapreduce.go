@@ -32,6 +32,22 @@ type batch[K comparable, V any] struct {
 // WireSize implements cluster.Sizer.
 func (b batch[K, V]) WireSize() int { return len(b.Pairs) * b.PairBytes }
 
+// RegisterWireTypes registers one (K, V, R) instantiation's cross-rank
+// payload types with the cluster wire codec: the shuffle batches and the
+// gathered result maps (plus the gather tree's []map segments). In-process
+// worlds need no registration, but on the net device (`peachy launch`)
+// these travel as gob interface values, which decode by registered
+// concrete type. Run calls this itself, so jobs work multi-process out of
+// the box; it is exported for callers that build their own exchanges from
+// the same types. Safe to call repeatedly.
+func RegisterWireTypes[K comparable, V, R any]() {
+	cluster.RegisterWire(
+		batch[K, V]{},
+		map[K]R(nil),
+		[]map[K]R(nil),
+	)
+}
+
 // bucket holds one destination rank's emissions: the values per key plus
 // the keys in first-emission order. The exchange serializes pairs in that
 // recorded order — never in map iteration order, which Go randomizes per
@@ -64,6 +80,7 @@ func (j *Job[I, K, V, R]) Run(c *cluster.Comm, inputs []I) map[K]R {
 	if j.Map == nil || j.Reduce == nil {
 		panic("mapreduce: Job needs Map and Reduce")
 	}
+	RegisterWireTypes[K, V, R]()
 	pairBytes := j.PairBytes
 	if pairBytes <= 0 {
 		pairBytes = 16

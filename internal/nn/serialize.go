@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -95,6 +96,29 @@ func Decode(r io.Reader) (*Network, error) {
 		}
 	}
 	return n, nil
+}
+
+// GobEncode implements gob.GobEncoder using the model file format, so a
+// trained network can cross process boundaries (a taskfarm result on the
+// cluster net device) without exposing the internal layer representation.
+func (n *Network) GobEncode() ([]byte, error) {
+	var b bytes.Buffer
+	if err := n.Encode(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder. Like Decode, the result predicts
+// identically to the encoded network but starts from fresh optimiser
+// state and default training hyper-parameters.
+func (n *Network) GobDecode(data []byte) error {
+	dec, err := Decode(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	*n = *dec
+	return nil
 }
 
 // Save writes the network to a file.

@@ -32,26 +32,47 @@ func (o *CLI) Enabled() bool {
 
 // Emit writes the requested artifacts from t. A nil trace (the workload
 // path that was taken records nothing) is a no-op.
+//
+// In a multi-process world (`peachy launch`) every rank is its own
+// process running the same flags, so each writes its own files: output
+// paths get a ".rank<r>" suffix from the PEACHY_RANK environment. The
+// per-process trace is also where wall-clock spans become meaningful —
+// on the in-process device wall time measures goroutine interleaving,
+// while per process it measures the rank's real compute and transport
+// waits.
 func (o *CLI) Emit(t *Trace) error {
 	if t == nil || !o.Enabled() {
 		return nil
 	}
 	if o.TracePath != "" {
-		if err := writeFileWith(o.TracePath, t.WriteChrome); err != nil {
+		path := rankSuffixed(o.TracePath)
+		if err := writeFileWith(path, t.WriteChrome); err != nil {
 			return fmt.Errorf("obs: writing trace: %w", err)
 		}
-		fmt.Printf("obs: trace written to %s\n", o.TracePath)
+		fmt.Printf("obs: trace written to %s\n", path)
 	}
 	if o.MetricsPath != "" {
-		if err := writeFileWith(o.MetricsPath, t.WriteMetrics); err != nil {
+		path := rankSuffixed(o.MetricsPath)
+		if err := writeFileWith(path, t.WriteMetrics); err != nil {
 			return fmt.Errorf("obs: writing metrics: %w", err)
 		}
-		fmt.Printf("obs: metrics written to %s\n", o.MetricsPath)
+		fmt.Printf("obs: metrics written to %s\n", path)
 	}
 	if o.Summary {
 		t.WriteSummary(os.Stdout)
 	}
 	return nil
+}
+
+// rankSuffixed keeps concurrently-launched ranks from clobbering each
+// other's artifacts: path -> path.rank<r> when PEACHY_RANK is set. obs
+// stays dependency-free, so the launch contract's rank variable is read
+// directly rather than through the cluster package.
+func rankSuffixed(path string) string {
+	if r := os.Getenv("PEACHY_RANK"); r != "" {
+		return path + ".rank" + r
+	}
+	return path
 }
 
 func writeFileWith(path string, write func(io.Writer) error) error {

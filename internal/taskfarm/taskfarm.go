@@ -70,6 +70,22 @@ func (r Report) WorkerImbalance() float64 {
 	return Report{PerRank: r.PerRank[1:]}.Imbalance()
 }
 
+// TaskResult pairs a task index with its result — the unit that crosses
+// rank boundaries in both farms. Package-level (not function-local) so
+// each R instantiation can be registered with the cluster wire codec,
+// making the farms runnable multi-process under `peachy launch`.
+type TaskResult[R any] struct {
+	Task  int
+	Value R
+}
+
+// registerWire registers one R instantiation's cross-rank payload types:
+// single results (dynamic farm), per-rank result slices, and the gather
+// tree's slice-of-slices segments (static farm). Safe to call repeatedly.
+func registerWire[R any]() {
+	cluster.RegisterWire(TaskResult[R]{}, []TaskResult[R]{}, [][]TaskResult[R]{})
+}
+
 // StaticTasks returns the task ids assigned to rank of size under mode.
 func StaticTasks(m, size, rank int, mode Mode) []int {
 	var out []int
@@ -93,18 +109,15 @@ func StaticTasks(m, size, rank int, mode Mode) []int {
 // assigned rank. Results (indexed by task) and the load report are
 // returned on rank 0; other ranks get nil results.
 func RunStatic[R any](c *cluster.Comm, m int, mode Mode, exec func(task int) R) ([]R, Report) {
-	type tr struct {
-		Task  int
-		Value R
-	}
+	registerWire[R]()
 	rec := c.Obs()
-	var local []tr
+	var local []TaskResult[R]
 	for _, t := range StaticTasks(m, c.Size(), c.Rank(), mode) {
 		wall := rec.Now()
 		sim := c.Clock()
 		v := exec(t)
 		rec.PhaseSpan("farm.task", sim, c.Clock(), wall, obs.KV{K: "task", V: int64(t)})
-		local = append(local, tr{t, v})
+		local = append(local, TaskResult[R]{t, v})
 	}
 	gathered := cluster.Gather(c, 0, local)
 	report := Report{}
@@ -135,10 +148,7 @@ const (
 // manager executes everything itself. Results and the report land on rank
 // 0; other ranks get nil.
 func RunDynamic[R any](c *cluster.Comm, m int, exec func(task int) R) ([]R, Report) {
-	type tr struct {
-		Task  int
-		Value R
-	}
+	registerWire[R]()
 	if c.Size() == 1 {
 		rec := c.Obs()
 		results := make([]R, m)
@@ -170,7 +180,7 @@ func RunDynamic[R any](c *cluster.Comm, m int, exec func(task int) R) ([]R, Repo
 					cluster.Send(c, src, tagAssign, -1)
 					workersLeft--
 				}
-			case tr:
+			case TaskResult[R]:
 				results[v.Task] = v.Value
 				done++
 			}
@@ -194,6 +204,6 @@ func RunDynamic[R any](c *cluster.Comm, m int, exec func(task int) R) ([]R, Repo
 		taskSim := c.Clock()
 		v := exec(task)
 		rec.PhaseSpan("farm.task", taskSim, c.Clock(), taskWall, obs.KV{K: "task", V: int64(task)})
-		cluster.Send(c, 0, tagResult, tr{task, v})
+		cluster.Send(c, 0, tagResult, TaskResult[R]{task, v})
 	}
 }

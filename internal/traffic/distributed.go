@@ -7,6 +7,13 @@ import (
 	"repro/internal/prng"
 )
 
+// carBlock is one rank's block of cars as gathered to rank 0 at the end
+// of a cluster run. Package-level (not function-local) so it can be
+// registered with the cluster wire codec for multi-process runs.
+type carBlock struct {
+	Pos, Vel []int
+}
+
 // RunCluster advances the simulation by steps time steps on a simulated
 // distributed-memory cluster — the assignment's suggested MPI variation
 // (paper §5, "Students could implement a distributed-memory parallel code
@@ -19,6 +26,9 @@ import (
 //
 // The receiver's state is updated in place after the cluster run (the
 // gather to rank 0 writes back), so fingerprints are directly comparable.
+// In a launched multi-process world only the rank-0 process receives the
+// gather; other processes keep their pre-run state and should not report
+// fingerprints (gate on world.Lead()).
 func (s *Sim) RunCluster(world *cluster.World, steps int) error {
 	n := len(s.pos)
 	if n == 0 {
@@ -29,10 +39,8 @@ func (s *Sim) RunCluster(world *cluster.World, steps int) error {
 		return fmt.Errorf("traffic: %d ranks exceed %d cars", world.Size(), n)
 	}
 
-	type block struct {
-		Pos, Vel []int
-	}
-	results := make([]block, world.Size())
+	cluster.RegisterWire(carBlock{}, []carBlock{})
+	results := make([]carBlock, world.Size())
 	startStep := s.step
 
 	err := world.Run(func(c *cluster.Comm) {
@@ -98,7 +106,7 @@ func (s *Sim) RunCluster(world *cluster.World, steps int) error {
 			}
 		}
 
-		gathered := cluster.Gather(c, 0, block{Pos: pos, Vel: vel})
+		gathered := cluster.Gather(c, 0, carBlock{Pos: pos, Vel: vel})
 		if c.Rank() == 0 {
 			copy(results, gathered)
 		}

@@ -39,6 +39,27 @@ go run ./cmd/knn -variant mapreduce -ranks 4 -n 2000 -q 500 \
 	-trace out/obs_smoke_trace.json -metrics out/obs_smoke_metrics.json >/dev/null
 go run ./cmd/peachy obs-lint out/obs_smoke_trace.json out/obs_smoke_metrics.json
 
+echo "== multi-process launch smoke (net device, P=4)"
+mkdir -p out
+go build -o out/peachy ./cmd/peachy
+go build -o out/kmeans ./cmd/kmeans
+# canonical() keeps the result line and strips the wall-clock field, the
+# only part allowed to differ between an in-process and a launched run.
+canonical() { grep '^n=' | sed -E 's/ [0-9.]+s,//'; }
+out/kmeans -distributed -ranks 4 -n 5000 -k 4 | canonical >out/launch_inproc.txt
+out/peachy launch -np 4 out/kmeans -distributed -ranks 4 -n 5000 -k 4 \
+	-trace out/launch_trace.json -metrics out/launch_metrics.json | canonical >out/launch_multi.txt
+if ! diff out/launch_inproc.txt out/launch_multi.txt; then
+	echo "check.sh: ERROR: launched world diverged from the in-process run" >&2
+	exit 1
+fi
+out/peachy obs-lint \
+	out/launch_trace.json.rank0 out/launch_trace.json.rank1 \
+	out/launch_trace.json.rank2 out/launch_trace.json.rank3 \
+	out/launch_metrics.json.rank0 out/launch_metrics.json.rank1 \
+	out/launch_metrics.json.rank2 out/launch_metrics.json.rank3
+cat out/launch_multi.txt
+
 echo "== analyzer micro-benchmark (one pass)"
 go test -run '^$' -bench BenchmarkLoadAnalyzeRepo -benchtime 1x ./internal/analysis
 
