@@ -71,6 +71,11 @@ func main() {
 		if obsCLI.Enabled() {
 			trace = world.Observe()
 		}
+		srv, err := obsCLI.Serve(trace, world.ObsInfo())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
 		e, report, err := ensemble.TrainDistributed(world, train, val, cfgs, *dynamic)
 		if err != nil {
 			fatal(err)

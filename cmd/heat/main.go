@@ -39,9 +39,13 @@ func main() {
 		trace = obs.NewTrace(1)
 		rec = trace.Rank(0)
 	}
+	srv, err := obsCLI.Serve(trace, obs.ServerInfo{Rank: -1, World: 1, Device: "local"})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
 	wall := rec.Now()
 	var u []float64
-	var err error
 	switch *solver {
 	case "serial":
 		u, err = heat.SolveSerial(p)

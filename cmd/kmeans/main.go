@@ -72,6 +72,11 @@ func main() {
 		if obsCLI.Enabled() {
 			trace = world.Observe()
 		}
+		srv, err := obsCLI.Serve(trace, world.ObsInfo())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
 		res, err = kmeans.RunDistributed(world, points, opts)
 		if err != nil {
 			fatal(err)
@@ -88,6 +93,11 @@ func main() {
 			trace = obs.NewTrace(1)
 			rec = trace.Rank(0)
 		}
+		srv, err := obsCLI.Serve(trace, obs.ServerInfo{Rank: -1, World: 1, Device: "local"})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
 		wall := rec.Now()
 		res = kmeans.Run(points, opts)
 		rec.WallSpan("kmeans."+*strategy, wall,

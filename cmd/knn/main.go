@@ -69,6 +69,11 @@ func main() {
 			trace = obs.NewTrace(1)
 			rec = trace.Rank(0)
 		}
+		srv, err := obsCLI.Serve(trace, obs.ServerInfo{Rank: -1, World: 1, Device: "local"})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
 		wall := rec.Now()
 		switch *variant {
 		case "sort":
@@ -95,6 +100,11 @@ func main() {
 		if obsCLI.Enabled() {
 			trace = world.Observe()
 		}
+		srv, err := obsCLI.Serve(trace, world.ObsInfo())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
 		pred, err = knn.MapReduce(world, db, queries, *k, *combiner)
 		if err != nil {
 			fatal(err)

@@ -14,7 +14,13 @@
 //
 // spawns 4 copies of the binary, each holding one rank on the net
 // device, wired over loopback sockets via the PEACHY_* env contract
-// that cluster.OpenWorld reads.
+// that cluster.OpenWorld reads. The observability artifacts such a run
+// writes per rank are stitched back together with
+//
+//	peachy obs-merge out/trace.json.rank*
+//
+// and validated (per file, plus cross-file conservation for complete
+// rank sets) with `peachy obs-lint`.
 package main
 
 import (
@@ -50,6 +56,7 @@ func main() {
 		np := fs.Int("np", 4, "number of ranks (one process per rank)")
 		netw := fs.String("net", "unix", "transport: unix (socket files) | tcp (loopback ports)")
 		raw := fs.Bool("raw-output", false, "do not prefix non-root ranks' output lines with [rank r]")
+		obsListen := fs.String("obs-listen", "", "serve each rank's live /metrics, /healthz and pprof: rank r listens on this address with the port offset by r")
 		_ = fs.Parse(os.Args[2:])
 		if fs.NArg() == 0 {
 			fmt.Fprintln(os.Stderr, "peachy launch: no program given (usage: peachy launch -np 4 [-net unix|tcp] prog args...)")
@@ -57,16 +64,22 @@ func main() {
 		}
 		if err := launch.Run(launch.Config{
 			NP: *np, Network: *netw, Argv: fs.Args(), Prefix: !*raw,
+			ObsListen: *obsListen,
 		}); err != nil {
 			fatal(err)
 		}
 	case "obs-lint":
-		if len(os.Args) < 3 {
+		paths, err := expandArtifacts(os.Args[2:])
+		if err != nil {
+			fatal(fmt.Errorf("obs-lint: %w", err))
+		}
+		if len(paths) == 0 {
 			fmt.Fprintln(os.Stderr, "peachy obs-lint: no files given")
 			os.Exit(2)
 		}
 		bad := 0
-		for _, path := range os.Args[2:] {
+		blobs := map[string][]byte{}
+		for _, path := range paths {
 			data, err := os.ReadFile(path)
 			if err == nil {
 				err = obs.LintFile(data)
@@ -76,11 +89,79 @@ func main() {
 				bad++
 				continue
 			}
+			blobs[path] = data
 			fmt.Printf("%s: ok\n", path)
+		}
+		// Cross-file pass: any complete per-rank set among the inputs gets
+		// the merged-run lint — world-size agreement, rank ownership, and
+		// send/recv conservation across the documents.
+		bases, groups := rankGroups(paths)
+		for _, base := range bases {
+			docs := make([][]byte, 0, len(groups[base]))
+			for _, p := range groups[base] {
+				if blobs[p] == nil {
+					docs = nil // a member already failed its own lint
+					break
+				}
+				docs = append(docs, blobs[p])
+			}
+			if docs == nil {
+				continue
+			}
+			if err := obs.LintMerged(docs); err != nil {
+				fmt.Fprintf(os.Stderr, "peachy obs-lint: %s.rank*: %v\n", base, err)
+				bad++
+				continue
+			}
+			fmt.Printf("%s.rank* (%d ranks): cross-checks ok\n", base, len(docs))
 		}
 		if bad > 0 {
 			os.Exit(1)
 		}
+	case "obs-merge":
+		fs := flag.NewFlagSet("obs-merge", flag.ExitOnError)
+		outPath := fs.String("o", "", "output path (default: the input base path, .rank* stripped)")
+		noLint := fs.Bool("no-lint", false, "skip the LintMerged cross-checks before writing")
+		_ = fs.Parse(os.Args[2:])
+		paths, err := expandArtifacts(fs.Args())
+		if err != nil {
+			fatal(fmt.Errorf("obs-merge: %w", err))
+		}
+		if len(paths) == 0 {
+			fmt.Fprintln(os.Stderr, "peachy obs-merge: no files given (usage: peachy obs-merge [-o out.json] trace.json.rank*)")
+			os.Exit(2)
+		}
+		base, ordered, err := rankSeries(paths)
+		if err != nil {
+			fatal(fmt.Errorf("obs-merge: %w", err))
+		}
+		docs := make([][]byte, len(ordered))
+		for r, p := range ordered {
+			if docs[r], err = os.ReadFile(p); err != nil {
+				fatal(fmt.Errorf("obs-merge: %w", err))
+			}
+		}
+		if !*noLint {
+			if err := obs.LintMerged(docs); err != nil {
+				fatal(fmt.Errorf("obs-merge: %v", err))
+			}
+		}
+		dst := *outPath
+		if dst == "" {
+			dst = base
+		}
+		f, err := os.Create(dst)
+		if err != nil {
+			fatal(fmt.Errorf("obs-merge: %w", err))
+		}
+		if err := obs.Merge(f, docs); err != nil {
+			f.Close()
+			fatal(fmt.Errorf("obs-merge: %w", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(fmt.Errorf("obs-merge: %w", err))
+		}
+		fmt.Printf("merged %d ranks into %s\n", len(docs), dst)
 	case "list":
 		for _, e := range core.AllExhibits() {
 			fmt.Printf("%-7s %s\n", e.ID, e.Title)
@@ -123,8 +204,9 @@ func usage() {
   peachy repro [-out dir] [-quick] [-only id]
   peachy verify
   peachy vet [-rules r1,r2] [-q] [-json|-sarif] [./... | dir ...]
-  peachy obs-lint trace-or-metrics.json ...
-  peachy launch -np 4 [-net unix|tcp] [-raw-output] prog args...`)
+  peachy obs-lint trace-or-metrics.json ...       (globs ok; complete .rank* sets get cross-file checks)
+  peachy obs-merge [-o out.json] [-no-lint] trace.json.rank*
+  peachy launch -np 4 [-net unix|tcp] [-raw-output] [-obs-listen host:port] prog args...`)
 }
 
 func fatal(err error) {

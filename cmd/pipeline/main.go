@@ -38,6 +38,11 @@ func main() {
 		trace = obs.NewTrace(1)
 		ctx.SetRecorder(trace.Rank(0))
 	}
+	srv, err := obsCLI.Serve(trace, obs.ServerInfo{Rank: -1, World: 1, Device: "local"})
+	if err != nil {
+		fatal(err)
+	}
+	defer srv.Close()
 	if *trips {
 		tripData, weather := pipeline.GenerateTrips(*seed, 300)
 		fmt.Printf("trips=%d days=%d\n", len(tripData), len(weather))

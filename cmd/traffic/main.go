@@ -134,6 +134,11 @@ func main() {
 		if obsCLI.Enabled() {
 			trace = world.Observe()
 		}
+		srv, err := obsCLI.Serve(trace, world.ObsInfo())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
 		if err := s.RunCluster(world, *steps); err != nil {
 			fatal(err)
 		}
@@ -145,6 +150,11 @@ func main() {
 			trace = obs.NewTrace(1)
 			rec = trace.Rank(0)
 		}
+		srv, err := obsCLI.Serve(trace, obs.ServerInfo{Rank: -1, World: 1, Device: "local"})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
 		wall := rec.Now()
 		s.RunParallel(*steps, *workers, m)
 		rec.WallSpan("traffic.parallel", wall,

@@ -67,6 +67,16 @@ var obsSinkMethods = map[string]bool{
 	"Span": true, "PhaseSpan": true, "WallSpan": true, "Instant": true,
 }
 
+// nondetSafeObs are obs entry points that take wall-clock-derived values
+// by contract: WireSpan and Hist.Observe feed counters and histograms
+// only (never the deterministic timeline or the wire), Quantile reads
+// such a histogram back, and Serve's live endpoint exports them over
+// HTTP. Nondeterministic arguments are their whole point, so calls to
+// them are never nondet sinks.
+var nondetSafeObs = map[string]bool{
+	"WireSpan": true, "Observe": true, "Quantile": true, "Serve": true,
+}
+
 // ---- statement walk ----
 
 func (s *nondetScan) stmts(list []ast.Stmt) {
@@ -401,6 +411,11 @@ func (s *nondetScan) call(call *ast.CallExpr) {
 			s.sink(call.Pos(), t,
 				"reaches the %s payload; wire traffic and reduction results will differ across runs — use internal/prng or a deterministic iteration order", op)
 		}
+		return
+	}
+	// Safe-by-contract obs entry points: wall-derived values are welcome
+	// in the counter/histogram aggregates and the live endpoint.
+	if sel, ok := unwrapCallFun(call).(*ast.SelectorExpr); ok && nondetSafeObs[sel.Sel.Name] {
 		return
 	}
 	// Obs span/instant fields: the golden traces diverge.

@@ -50,6 +50,13 @@ func wallInTrace(rec *Recorder) {
 	rec.PhaseSpan("phase", 0, 1, start) // WANT nondet
 }
 
+// wallInInstant: the WireSpan/Observe exemption is per entry point, not
+// per package — wall time reaching a timeline instant is still flagged.
+func wallInInstant(rec *Recorder) {
+	sim := float64(time.Now().UnixNano()) * 1e-9
+	rec.Instant("tick", -1, 0, sim) // WANT nondet
+}
+
 // reduceVals forwards its parameter into an Allreduce; its summary
 // carries the payload fact.
 func reduceVals(c *Comm, vals []float64) []float64 {

@@ -68,3 +68,19 @@ func recNow(rec *Recorder) {
 func allowedStamp(c *Comm) {
 	Send(c, 1, 17, time.Now().UnixNano()) //peachyvet:allow nondet
 }
+
+// wireAggregate times real transport work into the WireSpan aggregate:
+// counters and histograms only, never the deterministic timeline, so the
+// wall-derived duration is safe by contract.
+func wireAggregate(rec *Recorder) {
+	start := time.Now()
+	rec.WireSpan("net.tx", 128, time.Since(start).Nanoseconds())
+}
+
+// histObserve feeds a wall-clock duration into a latency histogram and
+// reads a quantile back — both safe by contract for the same reason.
+func histObserve(h *Hist) {
+	start := time.Now()
+	h.Observe(time.Since(start).Seconds())
+	_ = h.Quantile(0.99)
+}

@@ -17,12 +17,21 @@ func sumF(a, b float64) float64 { return a + b }
 
 func sumV(a, b []float64) []float64 { return a }
 
-// Recorder mirrors the obs recorder's exported-event surface.
+// Recorder mirrors the obs recorder's exported-event surface, plus the
+// wire-level aggregate that is safe-by-contract for wall-derived values.
 type Recorder struct{}
 
 func (r *Recorder) Now() int64                                    { return 0 }
 func (r *Recorder) PhaseSpan(op string, a, b float64, wall int64) {}
 func (r *Recorder) Instant(op string, peer, tag int, sim float64) {}
+func (r *Recorder) WireSpan(op string, bytes, wallNs int64)       {}
+
+// Hist mirrors the obs log-bucket histogram: counters only, never the
+// deterministic timeline, so wall-derived observations are fine.
+type Hist struct{}
+
+func (h *Hist) Observe(v float64)          {}
+func (h *Hist) Quantile(q float64) float64 { return 0 }
 
 // Rand mirrors internal/prng: explicitly seeded, safe by contract.
 type Rand struct{}

@@ -79,6 +79,12 @@ type message struct {
 	arrive   float64 // sender's simulated clock when the message is available
 	seq      uint64  // per-mailbox arrival stamp; orders wildcard matching
 	op, site string  // Verify mode: collective op + call site that produced this message
+	// Wire-level observability, stamped by the net device's reader: frame
+	// bytes on the wire (0 on the in-process device — also the "no wire"
+	// sentinel) and the gob decode wall time. recvRaw folds them into the
+	// recorder's net.rx aggregate on the rank's own goroutine.
+	wireB int64
+	decNs int64
 }
 
 // bucket is a FIFO deque of pending messages from one source rank, in
@@ -416,6 +422,17 @@ func (w *World) LocalRank() int { return w.local }
 // multi-process world.
 func (w *World) Lead() bool { return w.local <= 0 }
 
+// Device names the transport the world routes messages over
+// ("goroutine", "net/unix", "net/tcp") — diagnostics and the live
+// /healthz document use it.
+func (w *World) Device() string { return w.dev.name() }
+
+// ObsInfo describes this process for the live observability endpoint's
+// /healthz document (obs.CLI.Serve's second argument).
+func (w *World) ObsInfo() obs.ServerInfo {
+	return obs.ServerInfo{Rank: w.local, World: w.size, Device: w.dev.name()}
+}
+
 // Close tears down the transport. A no-op for the in-process device; on
 // a net device it closes every peer connection (remote ranks blocked on
 // this process then fail fast with a dead-peer diagnosis rather than
@@ -649,6 +666,12 @@ func (c *Comm) recvRaw(src, tag int) message {
 	}
 	if c.rec != nil {
 		c.rec.Recv(msg.src, msg.tag, int64(msg.bytes), simStart, c.clock, wallStart)
+		if msg.wireB > 0 {
+			// Wire-level aggregate for messages that crossed a socket: frame
+			// bytes and gob decode time, stamped by the net device's reader
+			// goroutine, folded into the recorder here on the rank's own.
+			c.rec.WireSpan("net.rx", msg.wireB, msg.decNs)
+		}
 	}
 	return msg
 }

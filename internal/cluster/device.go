@@ -27,6 +27,9 @@ type Device interface {
 	// process cannot see (remote ranks on a net device). The goroutine
 	// device returns "" for every rank: all state is local.
 	peerInfo(rank int) string
+	// name identifies the transport for diagnostics and the live /healthz
+	// document ("goroutine", "net/unix", "net/tcp").
+	name() string
 	// close tears the transport down. Safe to call more than once.
 	close() error
 }
@@ -39,5 +42,7 @@ type goroutineDevice struct{ w *World }
 func (d goroutineDevice) deliver(dst int, msg message) { d.w.boxes[dst].put(msg) }
 
 func (d goroutineDevice) peerInfo(rank int) string { return "" }
+
+func (d goroutineDevice) name() string { return "goroutine" }
 
 func (d goroutineDevice) close() error { return nil }

@@ -17,6 +17,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Config describes one launch.
@@ -33,6 +35,11 @@ type Config struct {
 	// through untagged so an exhibit's result output stays comparable to
 	// its in-process run.
 	Prefix bool
+	// ObsListen, when set, gives every rank a live observability endpoint
+	// (obs: /metrics, /healthz, pprof): rank r serves on this base address
+	// with any non-zero port offset by r, handed down via PEACHY_OBS_LISTEN
+	// so the exhibit's own flags need not be touched.
+	ObsListen string
 	// Stdout/Stderr receive the children's (possibly prefixed) output.
 	// Defaults: os.Stdout / os.Stderr.
 	Stdout, Stderr io.Writer
@@ -79,6 +86,9 @@ func Run(cfg Config) error {
 			"PEACHY_NET="+network,
 			"PEACHY_ADDRS="+strings.Join(addrs, ","),
 		)
+		if cfg.ObsListen != "" {
+			cmd.Env = append(cmd.Env, "PEACHY_OBS_LISTEN="+obs.OffsetAddr(cfg.ObsListen, r))
+		}
 		prefix := ""
 		if cfg.Prefix && r > 0 {
 			prefix = fmt.Sprintf("[rank %d] ", r)

@@ -140,6 +140,7 @@ func NewNetWorld(cfg NetConfig, opts Options) (*World, error) {
 	d := &netDevice{
 		world:   w,
 		rank:    cfg.Rank,
+		network: network,
 		box:     w.boxes[cfg.Rank],
 		conns:   make([]net.Conn, cfg.Size),
 		writers: make([]*frameWriter, cfg.Size),
@@ -162,6 +163,7 @@ func NewNetWorld(cfg NetConfig, opts Options) (*World, error) {
 type netDevice struct {
 	world    *World
 	rank     int
+	network  string // "unix" or "tcp"
 	box      *mailbox
 	listener net.Listener
 	conns    []net.Conn     // peer rank -> connection (nil at self)
@@ -282,7 +284,11 @@ func dialRetry(network, addr string, deadline time.Time) (net.Conn, error) {
 
 // deliver implements Device: local delivery is a mailbox put, remote
 // delivery is one frame on the peer's connection. Only the local rank's
-// goroutine sends, so the writer needs no lock.
+// goroutine sends, so the writer needs no lock — which also makes it the
+// place to fold the wire-level net.tx aggregate (frame count, frame
+// bytes, encode+write wall time) into the rank's recorder. Wall times
+// stay out of the deterministic timeline: WireSpan records counters and
+// a histogram only, never a trace event.
 func (d *netDevice) deliver(dst int, msg message) {
 	if dst == d.rank {
 		d.box.put(msg)
@@ -298,7 +304,10 @@ func (d *netDevice) deliver(dst int, msg message) {
 	case struct{}:
 		wm.Kind, wm.Payload = payloadEmpty, nil
 	}
-	if err := d.writers[dst].writeMsg(&wm); err != nil {
+	rec := d.world.comms[d.rank].rec // only the local rank delivers remotely
+	start := rec.Now()
+	frameB, err := d.writers[dst].writeMsg(&wm)
+	if err != nil {
 		if isConnError(err) {
 			panic(fmt.Sprintf(
 				"cluster: rank %d: send to rank %d failed: %v — connection closed/reset, remote process likely exited or crashed",
@@ -309,6 +318,7 @@ func (d *netDevice) deliver(dst int, msg message) {
 			"cluster: rank %d: payload %T is not wire-safe: %v — netdev payloads must be gob-encodable and registered (cluster.RegisterWire); run `go run ./cmd/peachyvet` for the static wiresafe check",
 			d.rank, msg.payload, err))
 	}
+	rec.WireSpan("net.tx", frameB, rec.Now()-start)
 }
 
 func isConnError(err error) bool {
@@ -319,12 +329,25 @@ func isConnError(err error) bool {
 
 // readLoop decodes frames from one peer into the local mailbox. On
 // connection close/reset it marks the peer down so a blocked receive
-// fails with a dead-peer diagnosis instead of timing out.
+// fails with a dead-peer diagnosis instead of timing out. Each delivered
+// message is stamped with its wire size and gob decode time (socket wait
+// excluded — the frame is fully buffered before the decode is timed);
+// the rank's goroutine folds the stamps into the recorder in recvRaw,
+// keeping the recorder single-writer.
 func (d *netDevice) readLoop(peer int, conn net.Conn) {
-	dec := gob.NewDecoder(&frameReader{r: bufio.NewReader(conn)})
+	fr := &frameReader{r: bufio.NewReader(conn)}
+	dec := gob.NewDecoder(fr)
 	for {
+		fr.frameB = 0
+		err := fr.fetch()
+		var decNs int64
 		var wm wireMsg
-		if err := dec.Decode(&wm); err != nil {
+		if err == nil {
+			start := time.Now()
+			err = dec.Decode(&wm)
+			decNs = time.Since(start).Nanoseconds()
+		}
+		if err != nil {
 			if d.closing.Load() {
 				return // normal shutdown, not a dead peer
 			}
@@ -347,6 +370,7 @@ func (d *netDevice) readLoop(peer int, conn net.Conn) {
 		d.box.put(message{
 			src: peer, tag: wm.Tag, payload: payload, bytes: wm.Bytes,
 			arrive: wm.Arrive, op: wm.Op, site: wm.Site,
+			wireB: fr.frameB, decNs: decNs,
 		})
 	}
 }
@@ -366,6 +390,8 @@ func (d *netDevice) peerInfo(rank int) string {
 	}
 	return "remote rank: " + *s + " — the process exited or crashed"
 }
+
+func (d *netDevice) name() string { return "net/" + d.network }
 
 func (d *netDevice) close() error {
 	d.closeMu.Lock()
@@ -400,44 +426,69 @@ func newFrameWriter(conn io.Writer) *frameWriter {
 	return fw
 }
 
-func (fw *frameWriter) writeMsg(m *wireMsg) error {
+// writeMsg encodes m and writes it as one frame, returning the bytes put
+// on the wire (header + gob body) for the sender's net.tx aggregate.
+func (fw *frameWriter) writeMsg(m *wireMsg) (int64, error) {
 	fw.buf.Reset()
 	if err := fw.enc.Encode(m); err != nil {
-		return err
+		return 0, err
 	}
 	binary.BigEndian.PutUint32(fw.hdr[:], uint32(fw.buf.Len()))
 	if _, err := fw.conn.Write(fw.hdr[:]); err != nil {
-		return err
+		return 0, err
 	}
-	_, err := fw.conn.Write(fw.buf.Bytes())
-	return err
+	if _, err := fw.conn.Write(fw.buf.Bytes()); err != nil {
+		return 0, err
+	}
+	return int64(len(fw.hdr) + fw.buf.Len()), nil
 }
 
 // frameReader re-assembles the framed stream for a persistent gob
-// decoder: it serves the bytes of one frame at a time, pulling the next
-// length prefix when the current frame is exhausted.
+// decoder. It works a whole frame at a time: fetch pulls the next frame
+// off the socket into a buffer, and Read serves the decoder from that
+// buffer. The split is what makes the net.rx decode timing honest — the
+// socket wait happens in fetch, so the decoder's wall time measures gob
+// work, not idle time waiting for a peer to send.
 type frameReader struct {
-	r    *bufio.Reader
-	left int
-	hdr  [4]byte
+	r      *bufio.Reader
+	buf    []byte // current frame's body
+	pos    int
+	frameB int64 // wire bytes (headers + bodies) fetched since the last reset
+}
+
+// fetch reads one whole frame (header + body) into the buffer.
+func (fr *frameReader) fetch() error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if cap(fr.buf) < n {
+		fr.buf = make([]byte, n)
+	}
+	fr.buf = fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, fr.buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return err
+	}
+	fr.pos = 0
+	fr.frameB += int64(len(hdr) + n)
+	return nil
 }
 
 func (fr *frameReader) Read(p []byte) (int, error) {
-	for fr.left == 0 {
-		if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
+	if fr.pos == len(fr.buf) {
+		// The decoder wants bytes beyond the fetched frame — a gob
+		// type-descriptor frame preceding its value. Pull the next one.
+		if err := fr.fetch(); err != nil {
 			return 0, err
 		}
-		fr.left = int(binary.BigEndian.Uint32(fr.hdr[:]))
 	}
-	if len(p) > fr.left {
-		p = p[:fr.left]
-	}
-	n, err := fr.r.Read(p)
-	fr.left -= n
-	if err == io.EOF && fr.left > 0 {
-		err = io.ErrUnexpectedEOF
-	}
-	return n, err
+	n := copy(p, fr.buf[fr.pos:])
+	fr.pos += n
+	return n, nil
 }
 
 // RegisterWire registers payload types for the net device's gob frames.

@@ -17,14 +17,13 @@ import (
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
 
-// tracedScript is a fixed SPMD program exercising point-to-point sends, a
-// wildcard-free ring exchange and several collectives — enough to populate
-// every event kind the exporter emits.
-func tracedScript(t *testing.T, p int) *obs.Trace {
-	t.Helper()
-	w := NewWorld(p)
-	trace := w.Observe()
-	err := w.Run(func(c *Comm) {
+// tracedScriptBody is a fixed SPMD program exercising point-to-point
+// sends, a wildcard-free ring exchange and several collectives — enough
+// to populate every event kind the exporter emits. It is shared between
+// the in-process golden test and the net-device merge tests: the sim
+// timeline must be identical on every device.
+func tracedScriptBody(p int) func(c *Comm) {
+	return func(c *Comm) {
 		buf := make([]float64, 64)
 		Bcast(c, 0, buf)
 		Allreduce(c, float64(c.Rank()), func(a, b float64) float64 { return a + b })
@@ -35,8 +34,15 @@ func tracedScript(t *testing.T, p int) *obs.Trace {
 		c.Probe(prev, 7)
 		Gather(c, 0, c.Rank())
 		c.Barrier()
-	})
-	if err != nil {
+	}
+}
+
+// tracedScript runs tracedScriptBody on the in-process device.
+func tracedScript(t *testing.T, p int) *obs.Trace {
+	t.Helper()
+	w := NewWorld(p)
+	trace := w.Observe()
+	if err := w.Run(tracedScriptBody(p)); err != nil {
 		t.Fatalf("traced script failed: %v", err)
 	}
 	return trace
@@ -172,30 +178,52 @@ func TestObserveMetricsLint(t *testing.T) {
 }
 
 // BenchmarkObsOverhead measures the transport hot path with observability
-// detached (the shipping default: every hook is one nil check) and
-// attached, so the "~zero disabled overhead" claim has a tracked number.
+// detached (the shipping default: every hook is one nil check), attached,
+// and attached with a per-iteration histogram-feeding phase span, so both
+// the "~zero disabled overhead" claim and the distribution-recording cost
+// have tracked numbers. The nil-recorder mode isolates the disabled
+// recording calls themselves, without any transport.
 func BenchmarkObsOverhead(b *testing.B) {
-	for _, mode := range []string{"detached", "attached"} {
+	for _, mode := range []string{"detached", "attached", "attached-hist"} {
 		b.Run(mode, func(b *testing.B) {
 			w := NewWorld(2)
-			if mode == "attached" {
-				w.Observe()
+			var trace *obs.Trace
+			if mode != "detached" {
+				trace = w.Observe()
 			}
 			payload := make([]float64, 8)
 			b.ResetTimer()
 			_ = w.Run(func(c *Comm) {
+				var rec *obs.Recorder
+				if mode == "attached-hist" {
+					rec = trace.Rank(c.Rank())
+				}
 				if c.Rank() == 0 {
 					for i := 0; i < b.N; i++ {
 						Send(c, 1, 1, payload)
 						Recv[[]float64](c, 1, 2)
+						rec.PhaseSpan("bench.iter", 0, 1, rec.Now())
 					}
 				} else {
 					for i := 0; i < b.N; i++ {
 						Recv[[]float64](c, 0, 1)
 						Send(c, 0, 2, payload)
+						rec.PhaseSpan("bench.iter", 0, 1, rec.Now())
 					}
 				}
 			})
 		})
 	}
+	// nil-recorder: every recording call on a detached (nil) recorder is
+	// one branch; the paired test asserts the path is also allocation-free.
+	b.Run("nil-recorder", func(b *testing.B) {
+		b.ReportAllocs()
+		var rec *obs.Recorder
+		for i := 0; i < b.N; i++ {
+			rec.Send(1, 1, 64, 0, 1)
+			rec.Recv(0, 1, 64, 0, 1, 0)
+			rec.PhaseSpan("bench.iter", 0, 1, 0)
+			rec.WireSpan("net.tx", 64, 100)
+		}
+	})
 }

@@ -21,6 +21,54 @@ type chromeEvent struct {
 	Args map[string]any `json:"args,omitempty"`
 }
 
+// chromeEnc serializes a stream of chromeEvents into the exact document
+// framing WriteChrome has always produced. MergeTraces re-emits parsed
+// per-rank events through the same encoder, which is what makes a
+// merged launched-run trace byte-identical to the single-process trace
+// of the same program.
+type chromeEnc struct {
+	bw    *errWriter
+	first bool
+}
+
+func newChromeEnc(w io.Writer) *chromeEnc {
+	bw := &errWriter{w: w}
+	bw.writeString("{\"traceEvents\":[\n")
+	return &chromeEnc{bw: bw, first: true}
+}
+
+func (e *chromeEnc) emit(ev chromeEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		e.bw.err = err
+		return
+	}
+	if !e.first {
+		e.bw.writeString(",\n")
+	}
+	e.first = false
+	e.bw.write(data)
+}
+
+// meta names and orders one track per rank.
+func (e *chromeEnc) meta(ranks int) {
+	for r := 0; r < ranks; r++ {
+		e.emit(chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
+		})
+		e.emit(chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: r,
+			Args: map[string]any{"sort_index": r},
+		})
+	}
+}
+
+func (e *chromeEnc) close() error {
+	e.bw.writeString("\n],\"displayTimeUnit\":\"ms\"}\n")
+	return e.bw.err
+}
+
 // WriteChrome emits the trace as Chrome trace_event JSON on the simulated
 // timeline: one track (tid) per rank, ts/dur in simulated microseconds.
 // The output is a pure function of the recorded simulated events — wall
@@ -28,31 +76,8 @@ type chromeEvent struct {
 // produce byte-identical files. Open the file in chrome://tracing or
 // https://ui.perfetto.dev.
 func (t *Trace) WriteChrome(w io.Writer) error {
-	bw := &errWriter{w: w}
-	bw.writeString("{\"traceEvents\":[\n")
-	first := true
-	emit := func(ev chromeEvent) {
-		data, err := json.Marshal(ev)
-		if err != nil {
-			bw.err = err
-			return
-		}
-		if !first {
-			bw.writeString(",\n")
-		}
-		first = false
-		bw.write(data)
-	}
-	for r := range t.recs {
-		emit(chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: r,
-			Args: map[string]any{"name": fmt.Sprintf("rank %d", r)},
-		})
-		emit(chromeEvent{
-			Name: "thread_sort_index", Ph: "M", Pid: 0, Tid: r,
-			Args: map[string]any{"sort_index": r},
-		})
-	}
+	enc := newChromeEnc(w)
+	enc.meta(len(t.recs))
 	for r, rec := range t.recs {
 		for _, ev := range sortedForTimeline(rec.events) {
 			ce := chromeEvent{Name: ev.Op, Ph: "X", Pid: 0, Tid: r, Ts: ev.SimStart * 1e6}
@@ -79,11 +104,10 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 			if len(args) > 0 {
 				ce.Args = args
 			}
-			emit(ce)
+			enc.emit(ce)
 		}
 	}
-	bw.writeString("\n],\"displayTimeUnit\":\"ms\"}\n")
-	return bw.err
+	return enc.close()
 }
 
 // sortedForTimeline orders one rank's events so that viewers reconstruct

@@ -4,16 +4,26 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
+	"strconv"
 )
 
-// CLI is the shared -trace/-metrics/-obs-summary flag set every exhibit
-// binary exposes. Bind it before flag.Parse, run the workload with a
-// Trace when Enabled(), then Emit the artifacts.
+// CLI is the shared -trace/-metrics/-obs-summary/-obs-listen flag set
+// every exhibit binary exposes. Bind it before flag.Parse, Serve before
+// the workload runs (a no-op unless listening was requested), run the
+// workload with a Trace when Enabled(), then Emit the artifacts.
 type CLI struct {
 	TracePath   string
 	MetricsPath string
 	Summary     bool
+	// Listen is the -obs-listen address for the live HTTP endpoint
+	// (/metrics, /healthz, /debug/pprof). In a launched world each rank
+	// is its own process: a non-zero port is offset by the rank so the
+	// world's endpoints do not collide, and the PEACHY_OBS_LISTEN
+	// environment (set per rank by `peachy launch -obs-listen`) overrides
+	// the flag entirely.
+	Listen string
 }
 
 // BindCLI registers the observability flags on the default flag set.
@@ -22,12 +32,69 @@ func BindCLI() *CLI {
 	flag.StringVar(&o.TracePath, "trace", "", "write a Chrome trace_event JSON timeline to this file (open in chrome://tracing or Perfetto)")
 	flag.StringVar(&o.MetricsPath, "metrics", "", "write per-rank counters and the traffic matrix as JSON to this file")
 	flag.BoolVar(&o.Summary, "obs-summary", false, "print the per-rank imbalance summary after the run")
+	flag.StringVar(&o.Listen, "obs-listen", "", "serve live /metrics, /healthz and /debug/pprof on this address while running (host:port; a non-zero port is offset by the rank under peachy launch)")
 	return o
 }
 
 // Enabled reports whether any observability output was requested.
 func (o *CLI) Enabled() bool {
-	return o.TracePath != "" || o.MetricsPath != "" || o.Summary
+	return o.TracePath != "" || o.MetricsPath != "" || o.Summary || o.listenAddr() != ""
+}
+
+// envObsListen is the per-rank live-endpoint address `peachy launch
+// -obs-listen` hands each spawned process; like PEACHY_RANK it is read
+// directly to keep obs dependency-free.
+const envObsListen = "PEACHY_OBS_LISTEN"
+
+// listenAddr resolves where this process should serve its live endpoint:
+// the launcher's per-rank address if set, else the -obs-listen flag with
+// a non-zero port offset by this rank ("" when listening is off).
+func (o *CLI) listenAddr() string {
+	if addr := os.Getenv(envObsListen); addr != "" {
+		return addr
+	}
+	if o.Listen == "" {
+		return ""
+	}
+	return OffsetAddr(o.Listen, launchRank())
+}
+
+// OffsetAddr shifts a non-zero listen port by rank, so every process of
+// a launched world gets its own endpoint from one base address (":9090"
+// -> ":9092" on rank 2). Port 0 (ephemeral) and unparsable addresses
+// pass through unchanged.
+func OffsetAddr(addr string, rank int) string {
+	if rank <= 0 {
+		return addr
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port == 0 {
+		return addr
+	}
+	return net.JoinHostPort(host, strconv.Itoa(port+rank))
+}
+
+// Serve starts the live endpoint when one was requested (-obs-listen or
+// the launcher's PEACHY_OBS_LISTEN), attaching live counters to t.
+// Returns nil (no error) when listening is off or there is no trace; the
+// returned *Server is nil-safe to Close, so callers simply
+// `defer o.Serve(...).Close()`-style without guards. The bound address
+// is echoed to stderr — useful with port 0.
+func (o *CLI) Serve(t *Trace, info ServerInfo) (*Server, error) {
+	addr := o.listenAddr()
+	if addr == "" || t == nil {
+		return nil, nil
+	}
+	srv, err := Serve(addr, t, info)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "obs: live endpoint on http://%s (/metrics /healthz /debug/pprof)\n", srv.Addr())
+	return srv, nil
 }
 
 // Emit writes the requested artifacts from t. A nil trace (the workload
@@ -65,14 +132,33 @@ func (o *CLI) Emit(t *Trace) error {
 }
 
 // rankSuffixed keeps concurrently-launched ranks from clobbering each
-// other's artifacts: path -> path.rank<r> when PEACHY_RANK is set. obs
-// stays dependency-free, so the launch contract's rank variable is read
-// directly rather than through the cluster package.
+// other's artifacts: path -> path.rank<r> when the process runs under
+// `peachy launch`. Every rank gets the suffix — rank 0 included, so
+// obs-merge sees a uniform .rank0..rankP-1 input set and an in-process
+// run's bare path is never shadowed by a launched rank's file. The rank
+// is parsed strictly: a malformed PEACHY_RANK must not smuggle arbitrary
+// text into a file name. obs stays dependency-free, so the launch
+// contract's rank variable is read directly rather than through the
+// cluster package.
 func rankSuffixed(path string) string {
-	if r := os.Getenv("PEACHY_RANK"); r != "" {
-		return path + ".rank" + r
+	if r := launchRank(); r >= 0 {
+		return path + ".rank" + strconv.Itoa(r)
 	}
 	return path
+}
+
+// launchRank parses PEACHY_RANK: the process's rank under `peachy
+// launch`, or -1 when not launched (or the variable is malformed).
+func launchRank() int {
+	s := os.Getenv("PEACHY_RANK")
+	if s == "" {
+		return -1
+	}
+	r, err := strconv.Atoi(s)
+	if err != nil || r < 0 {
+		return -1
+	}
+	return r
 }
 
 func writeFileWith(path string, write func(io.Writer) error) error {

@@ -1,0 +1,401 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Merging launched runs. Under `peachy launch` every rank is its own
+// process and writes its own artifacts (trace.json.rank0 .. rankP-1);
+// this file folds them back into the single documents an in-process run
+// would have written.
+//
+// For traces that reconstruction is exact: a per-rank trace already
+// names every rank's track (metadata for the whole world travels in
+// each artifact) and carries events only on the local rank's track, all
+// on the shared simulated clock, serialized by the same encoder
+// WriteChrome uses. MergeTraces therefore re-emits the world's metadata
+// followed by each rank's events, through that same encoder — and the
+// result is byte-identical to the in-process WriteChrome of the same
+// program, and byte-identical across repeated launched runs (wall time
+// never enters the trace). For metrics, every per-rank field of the
+// merged document is taken from the rank that owns it and the run-level
+// aggregates are recomputed by the same fold Trace.Metrics uses, so
+// histograms merge exactly (fixed bucket boundaries) and quantiles come
+// out identical to the in-process run's.
+//
+// Conservation is cross-checked while merging: what rank s's traffic
+// matrix row says it sent to rank d must equal what rank d's counters
+// say arrived. LintMerged extends the single-document linter (lint.go)
+// to these multi-document invariants; `peachy obs-merge` runs it before
+// writing anything.
+
+// chromeDoc is one parsed per-rank trace artifact.
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+func parseTraceDoc(data []byte) (*chromeDoc, error) {
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &doc, nil
+}
+
+// worldRanks counts the rank tracks a per-rank artifact declares (one
+// thread_name metadata event per rank of the world).
+func (d *chromeDoc) worldRanks() int {
+	n := 0
+	for _, ev := range d.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			n++
+		}
+	}
+	return n
+}
+
+// ownedTracks returns the set of tids carrying actual events.
+func (d *chromeDoc) ownedTracks() map[int]bool {
+	owned := map[int]bool{}
+	for _, ev := range d.TraceEvents {
+		if ev.Ph != "M" {
+			owned[ev.Tid] = true
+		}
+	}
+	return owned
+}
+
+// MergeTraces folds N per-rank Chrome trace artifacts from one launched
+// run (docs[r] is rank r's file, in rank order) into a single trace on
+// w: one track per rank on the shared simulated clock. The output is
+// byte-identical to what an in-process run of the same program writes,
+// and byte-identical across repeated launched runs.
+func MergeTraces(w io.Writer, docs [][]byte) error {
+	if len(docs) == 0 {
+		return errors.New("obs: merge: no trace documents")
+	}
+	ranks := len(docs)
+	parsed := make([]*chromeDoc, ranks)
+	for r, data := range docs {
+		doc, err := parseTraceDoc(data)
+		if err != nil {
+			return fmt.Errorf("obs: merge: doc %d: %w", r, err)
+		}
+		if got := doc.worldRanks(); got != ranks {
+			return fmt.Errorf("obs: merge: doc %d declares a %d-rank world but %d documents were given — pass every rank's artifact of one launched run, in rank order", r, got, ranks)
+		}
+		for tid := range doc.ownedTracks() {
+			if tid != r {
+				return fmt.Errorf("obs: merge: doc %d carries events on rank %d's track — per-rank artifacts own exactly their rank (is this an in-process trace, or are the files out of rank order?)", r, tid)
+			}
+		}
+		parsed[r] = doc
+	}
+	enc := newChromeEnc(w)
+	enc.meta(ranks)
+	for _, doc := range parsed {
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "M" {
+				continue
+			}
+			enc.emit(ev)
+		}
+	}
+	return enc.close()
+}
+
+// MergeMetrics folds N per-rank metrics artifacts from one launched run
+// (docs[r] is rank r's file, in rank order) into the single metrics
+// document the in-process run would produce: per-rank rows and traffic
+// rows taken from the rank that owns them, totals and the run-level op
+// aggregates (histograms, quantiles) recomputed by the same fold
+// Trace.Metrics uses.
+func MergeMetrics(docs [][]byte) (*Metrics, error) {
+	if len(docs) == 0 {
+		return nil, errors.New("obs: merge: no metrics documents")
+	}
+	ranks := len(docs)
+	parsed := make([]*Metrics, ranks)
+	for r, data := range docs {
+		var m Metrics
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("obs: merge: doc %d: metrics: %w", r, err)
+		}
+		if m.Ranks != ranks {
+			return nil, fmt.Errorf("obs: merge: doc %d declares a %d-rank world but %d documents were given", r, m.Ranks, ranks)
+		}
+		if len(m.PerRank) != ranks || len(m.TrafficBytes) != ranks || len(m.TrafficMsgs) != ranks {
+			return nil, fmt.Errorf("obs: merge: doc %d is not a well-formed %d-rank metrics document (run obs-lint on it)", r, ranks)
+		}
+		parsed[r] = &m
+	}
+	out := &Metrics{Ranks: ranks}
+	out.TrafficBytes = make([][]int64, ranks)
+	out.TrafficMsgs = make([][]int64, ranks)
+	busySum, busyMax := 0.0, 0.0
+	agg := map[string]*opAgg{}
+	var aggOps []string
+	for r, m := range parsed {
+		rm := m.PerRank[r]
+		out.PerRank = append(out.PerRank, rm)
+		out.TrafficBytes[r] = append([]int64(nil), m.TrafficBytes[r]...)
+		out.TrafficMsgs[r] = append([]int64(nil), m.TrafficMsgs[r]...)
+		out.Events += m.Events
+		out.TotalMsgs += rm.MsgsSent
+		out.TotalBytes += rm.BytesSent
+		if rm.SimTotal > out.SimMakespan {
+			out.SimMakespan = rm.SimTotal
+		}
+		busySum += rm.SimBusy
+		if rm.SimBusy > busyMax {
+			busyMax = rm.SimBusy
+		}
+		for _, om := range rm.Ops {
+			a := agg[om.Op]
+			if a == nil {
+				a = &opAgg{simH: &Hist{}, wallH: &Hist{}}
+				agg[om.Op] = a
+				aggOps = append(aggOps, om.Op)
+			}
+			a.fold(om)
+		}
+	}
+	if busySum > 0 {
+		out.BusyImbalance = busyMax / (busySum / float64(ranks))
+	}
+	sort.Strings(aggOps)
+	for _, op := range aggOps {
+		out.Ops = append(out.Ops, agg[op].metrics(op))
+	}
+	return out, nil
+}
+
+// Merge folds per-rank artifacts of either kind (docs[r] is rank r's
+// file) into the single document on w, sniffing trace vs metrics from
+// the first document's shape.
+func Merge(w io.Writer, docs [][]byte) error {
+	if len(docs) == 0 {
+		return errors.New("obs: merge: no documents")
+	}
+	kind, err := sniffDoc(docs[0])
+	if err != nil {
+		return fmt.Errorf("obs: merge: doc 0: %w", err)
+	}
+	if kind == "trace" {
+		return MergeTraces(w, docs)
+	}
+	m, err := MergeMetrics(docs)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// LintMerged validates a set of per-rank artifacts (docs[r] is rank r's
+// file) as one coherent launched run: every document must pass its
+// single-file lint, declare the same world size (= the number of
+// documents), own exactly its rank's data, and — the cross-document
+// conservation invariant — what rank s recorded as sent to rank d must
+// equal what rank d recorded as received. All findings are reported,
+// joined, not just the first.
+func LintMerged(docs [][]byte) error {
+	if len(docs) == 0 {
+		return errors.New("merged: no documents")
+	}
+	if len(docs) == 1 {
+		return LintFile(docs[0])
+	}
+	kind := ""
+	for r, data := range docs {
+		k, err := sniffDoc(data)
+		if err != nil {
+			return fmt.Errorf("merged: doc %d: %w", r, err)
+		}
+		if kind == "" {
+			kind = k
+		} else if k != kind {
+			return fmt.Errorf("merged: doc %d is a %s document among %s documents — merge traces and metrics separately", r, k, kind)
+		}
+	}
+	if kind == "trace" {
+		return lintMergedTraces(docs)
+	}
+	return lintMergedMetrics(docs)
+}
+
+func sniffDoc(data []byte) (string, error) {
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return "", fmt.Errorf("not a JSON object: %w", err)
+	}
+	if _, ok := top["traceEvents"]; ok {
+		return "trace", nil
+	}
+	if _, ok := top["per_rank"]; ok {
+		return "metrics", nil
+	}
+	return "", errors.New("unrecognized document: neither \"traceEvents\" nor \"per_rank\" present")
+}
+
+// lintMergedTraces cross-checks N per-rank trace artifacts: consistent
+// world size, per-rank track ownership, and message conservation (send
+// events on rank s's track addressed to d must match recv events on
+// rank d's track from s, in both count and bytes).
+func lintMergedTraces(docs [][]byte) error {
+	var findings []error
+	ranks := len(docs)
+	parsed := make([]*chromeDoc, ranks)
+	for r, data := range docs {
+		if err := LintTrace(data); err != nil {
+			findings = append(findings, fmt.Errorf("merged: doc %d: %w", r, err))
+			continue
+		}
+		doc, err := parseTraceDoc(data)
+		if err != nil {
+			findings = append(findings, fmt.Errorf("merged: doc %d: %w", r, err))
+			continue
+		}
+		if got := doc.worldRanks(); got != ranks {
+			findings = append(findings, fmt.Errorf("merged: doc %d declares a %d-rank world, want %d (one document per rank)", r, got, ranks))
+			continue
+		}
+		for tid := range doc.ownedTracks() {
+			if tid != r {
+				findings = append(findings, fmt.Errorf("merged: doc %d carries events on rank %d's track — not a per-rank artifact, or out of rank order", r, tid))
+			}
+		}
+		parsed[r] = doc
+	}
+	if len(findings) > 0 {
+		return errors.Join(findings...)
+	}
+	// Conservation on the event level: sentMsgs[s][d] from send events
+	// must mirror recvMsgs[d][s] from recv events, and likewise bytes.
+	sentMsgs := mat(ranks)
+	sentBytes := mat(ranks)
+	recvMsgs := mat(ranks)
+	recvBytes := mat(ranks)
+	for r, doc := range parsed {
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph != "X" || (ev.Name != "send" && ev.Name != "recv") {
+				continue
+			}
+			peer, ok := argInt(ev.Args, "peer")
+			if !ok || peer < 0 || peer >= int64(ranks) {
+				findings = append(findings, fmt.Errorf("merged: doc %d: %s event without a valid peer rank", r, ev.Name))
+				continue
+			}
+			bytes, _ := argInt(ev.Args, "bytes") // absent means a 0-byte payload
+			if ev.Name == "send" {
+				sentMsgs[r][peer]++
+				sentBytes[r][peer] += bytes
+			} else {
+				recvMsgs[r][peer]++
+				recvBytes[r][peer] += bytes
+			}
+		}
+	}
+	for s := 0; s < ranks; s++ {
+		for d := 0; d < ranks; d++ {
+			if sentMsgs[s][d] != recvMsgs[d][s] || sentBytes[s][d] != recvBytes[d][s] {
+				findings = append(findings, fmt.Errorf(
+					"merged: conservation violated on edge %d->%d: rank %d traced %d msgs / %d bytes sent but rank %d traced %d msgs / %d bytes received",
+					s, d, s, sentMsgs[s][d], sentBytes[s][d], d, recvMsgs[d][s], recvBytes[d][s]))
+			}
+		}
+	}
+	return errors.Join(findings...)
+}
+
+// lintMergedMetrics cross-checks N per-rank metrics artifacts:
+// consistent world size, ownership (doc r's counters and traffic rows
+// for any rank but r must be empty), and conservation (the traffic
+// matrix columns assembled across documents must equal each rank's
+// received totals).
+func lintMergedMetrics(docs [][]byte) error {
+	var findings []error
+	ranks := len(docs)
+	parsed := make([]*Metrics, ranks)
+	for r, data := range docs {
+		if err := LintMetrics(data); err != nil {
+			findings = append(findings, fmt.Errorf("merged: doc %d: %w", r, err))
+			continue
+		}
+		var m Metrics
+		if err := json.Unmarshal(data, &m); err != nil {
+			findings = append(findings, fmt.Errorf("merged: doc %d: %w", r, err))
+			continue
+		}
+		if m.Ranks != ranks {
+			findings = append(findings, fmt.Errorf("merged: doc %d declares a %d-rank world, want %d (one document per rank)", r, m.Ranks, ranks))
+			continue
+		}
+		for q, rm := range m.PerRank {
+			if q == r {
+				continue
+			}
+			if rm.MsgsSent != 0 || rm.MsgsRecv != 0 || rm.BytesSent != 0 || rm.BytesRecv != 0 || rm.Collectives != 0 {
+				findings = append(findings, fmt.Errorf("merged: doc %d carries counters for rank %d — not a per-rank artifact, or out of rank order", r, q))
+			}
+		}
+		for q := range m.TrafficMsgs {
+			if q == r {
+				continue
+			}
+			for d := 0; d < ranks; d++ {
+				if m.TrafficMsgs[q][d] != 0 || m.TrafficBytes[q][d] != 0 {
+					findings = append(findings, fmt.Errorf("merged: doc %d carries traffic row %d — not a per-rank artifact, or out of rank order", r, q))
+					break
+				}
+			}
+		}
+		parsed[r] = &m
+	}
+	if len(findings) > 0 {
+		return errors.Join(findings...)
+	}
+	// Conservation: column d of the assembled traffic matrix (everything
+	// every rank said it sent to d) must equal rank d's received totals.
+	for d := 0; d < ranks; d++ {
+		var colMsgs, colBytes int64
+		for s := 0; s < ranks; s++ {
+			colMsgs += parsed[s].TrafficMsgs[s][d]
+			colBytes += parsed[s].TrafficBytes[s][d]
+		}
+		got := parsed[d].PerRank[d]
+		if colMsgs != got.MsgsRecv || colBytes != got.BytesRecv {
+			findings = append(findings, fmt.Errorf(
+				"merged: conservation violated at rank %d: the world sent it %d msgs / %d bytes but it recorded %d msgs / %d bytes received",
+				d, colMsgs, colBytes, got.MsgsRecv, got.BytesRecv))
+		}
+	}
+	return errors.Join(findings...)
+}
+
+func mat(n int) [][]int64 {
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+	}
+	return m
+}
+
+// argInt reads an integer-valued arg from a parsed Chrome event (JSON
+// numbers decode as float64).
+func argInt(args map[string]any, key string) (int64, bool) {
+	v, ok := args[key]
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	if !ok {
+		return 0, false
+	}
+	return int64(f), true
+}

@@ -6,12 +6,55 @@ import (
 	"sort"
 )
 
-// OpMetrics aggregates one operation name on one rank.
+// OpMetrics aggregates one operation name on one rank (or, in the
+// document-level Ops list, across all ranks). Beyond the flat totals it
+// carries the latency distribution: p50/p95/p99/max quantiles for the
+// simulated and wall durations, plus the sparse log-bucket histograms
+// they were computed from — fixed boundaries, so per-rank rows merge
+// exactly into the run-level row. Sim fields are absent for wire-level
+// ops (net.tx/net.rx have no simulated duration; Bytes carries their
+// frame bytes instead), wall quantiles are absent when nothing was
+// observed.
 type OpMetrics struct {
 	Op     string  `json:"op"`
 	Count  int64   `json:"count"`
 	SimS   float64 `json:"sim_s"`
 	WallNs int64   `json:"wall_ns"`
+	Bytes  int64   `json:"bytes,omitempty"`
+
+	SimP50 float64 `json:"sim_p50_s,omitempty"`
+	SimP95 float64 `json:"sim_p95_s,omitempty"`
+	SimP99 float64 `json:"sim_p99_s,omitempty"`
+	SimMax float64 `json:"sim_max_s,omitempty"`
+
+	WallP50 int64 `json:"wall_p50_ns,omitempty"`
+	WallP95 int64 `json:"wall_p95_ns,omitempty"`
+	WallP99 int64 `json:"wall_p99_ns,omitempty"`
+	WallMax int64 `json:"wall_max_ns,omitempty"`
+
+	SimHist  []HistBucket `json:"sim_hist,omitempty"`
+	WallHist []HistBucket `json:"wall_hist,omitempty"`
+}
+
+// newOpMetrics assembles one OpMetrics row from totals plus the two
+// duration histograms (either may be nil/empty).
+func newOpMetrics(op string, count int64, simS float64, wallNs, bytes int64, simH, wallH *Hist) OpMetrics {
+	om := OpMetrics{Op: op, Count: count, SimS: simS, WallNs: wallNs, Bytes: bytes}
+	if simH.Count() > 0 {
+		om.SimP50 = simH.Quantile(0.50)
+		om.SimP95 = simH.Quantile(0.95)
+		om.SimP99 = simH.Quantile(0.99)
+		om.SimMax = simH.Max()
+		om.SimHist = simH.Buckets()
+	}
+	if wallH.Count() > 0 {
+		om.WallP50 = int64(wallH.Quantile(0.50))
+		om.WallP95 = int64(wallH.Quantile(0.95))
+		om.WallP99 = int64(wallH.Quantile(0.99))
+		om.WallMax = int64(wallH.Max())
+		om.WallHist = wallH.Buckets()
+	}
+	return om
 }
 
 // RankMetrics is one rank's flat counter view.
@@ -45,6 +88,12 @@ type Metrics struct {
 	// 0 when nothing ran).
 	BusyImbalance float64       `json:"busy_imbalance"`
 	PerRank       []RankMetrics `json:"per_rank"`
+	// Ops aggregates every operation across all ranks: counts and
+	// durations summed in rank order, histograms merged bucket-wise
+	// (exact, by the fixed boundaries), quantiles recomputed from the
+	// merged histograms. MergeMetrics rebuilds exactly this list from
+	// per-rank documents.
+	Ops []OpMetrics `json:"ops,omitempty"`
 	// TrafficBytes[src][dst] / TrafficMsgs[src][dst] are payload bytes and
 	// message counts sent from src to dst.
 	TrafficBytes [][]int64 `json:"traffic_bytes"`
@@ -58,6 +107,8 @@ func (t *Trace) Metrics() *Metrics {
 	m.TrafficBytes = make([][]int64, len(t.recs))
 	m.TrafficMsgs = make([][]int64, len(t.recs))
 	busySum, busyMax := 0.0, 0.0
+	agg := map[string]*opAgg{}
+	var aggOps []string
 	for r, rec := range t.recs {
 		m.Events += len(rec.events)
 		m.TrafficBytes[r] = append([]int64(nil), rec.sentBytesTo...)
@@ -87,13 +138,20 @@ func (t *Trace) Metrics() *Metrics {
 		}
 		sort.Strings(ops)
 		for _, op := range ops {
-			rm.Ops = append(rm.Ops, OpMetrics{
-				Op: op, Count: rec.ctr.OpCount[op],
-				SimS: rec.ctr.OpSim[op], WallNs: rec.ctr.OpWall[op],
-			})
+			om := newOpMetrics(op, rec.ctr.OpCount[op], rec.ctr.OpSim[op],
+				rec.ctr.OpWall[op], rec.ctr.OpBytes[op],
+				rec.ctr.OpSimHist[op], rec.ctr.OpWallHist[op])
+			rm.Ops = append(rm.Ops, om)
 			if CollectiveOps[op] {
 				rm.Collectives += rec.ctr.OpCount[op]
 			}
+			a := agg[op]
+			if a == nil {
+				a = &opAgg{simH: &Hist{}, wallH: &Hist{}}
+				agg[op] = a
+				aggOps = append(aggOps, op)
+			}
+			a.fold(om)
 		}
 		m.TotalMsgs += rm.MsgsSent
 		m.TotalBytes += rm.BytesSent
@@ -109,7 +167,46 @@ func (t *Trace) Metrics() *Metrics {
 	if busySum > 0 {
 		m.BusyImbalance = busyMax / (busySum / float64(len(t.recs)))
 	}
+	sort.Strings(aggOps)
+	for _, op := range aggOps {
+		m.Ops = append(m.Ops, agg[op].metrics(op))
+	}
 	return m
+}
+
+// opAgg folds per-rank OpMetrics rows into the run-level row. Folding
+// goes through the exported row (not the recorder's internal state) on
+// purpose: MergeMetrics replays exactly the same fold over rows parsed
+// from per-rank documents, so the merged run-level aggregate reproduces
+// the in-process one — sums in the same rank order, histograms as exact
+// bucket additions.
+type opAgg struct {
+	count, wallNs, bytes int64
+	simS                 float64
+	simMax               float64
+	wallMax              int64
+	simH, wallH          *Hist
+}
+
+func (a *opAgg) fold(om OpMetrics) {
+	a.count += om.Count
+	a.simS += om.SimS
+	a.wallNs += om.WallNs
+	a.bytes += om.Bytes
+	if om.SimMax > a.simMax {
+		a.simMax = om.SimMax
+	}
+	if om.WallMax > a.wallMax {
+		a.wallMax = om.WallMax
+	}
+	a.simH.Merge(histFromBuckets(om.SimHist, om.SimS, om.SimMax))
+	a.wallH.Merge(histFromBuckets(om.WallHist, float64(om.WallNs), float64(om.WallMax)))
+}
+
+func (a *opAgg) metrics(op string) OpMetrics {
+	a.simH.max = a.simMax
+	a.wallH.max = float64(a.wallMax)
+	return newOpMetrics(op, a.count, a.simS, a.wallNs, a.bytes, a.simH, a.wallH)
 }
 
 // WriteMetrics writes the metrics document as indented JSON.

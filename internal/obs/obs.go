@@ -52,7 +52,10 @@ type Event struct {
 }
 
 // Counters are one rank's accumulated totals. Op* maps aggregate per
-// operation name (collective invocations, substrate phases).
+// operation name (collective invocations, substrate phases, wire-level
+// transport ops): flat count/sum totals, plus log-bucketed duration
+// histograms whose fixed boundaries make cross-rank merging exact.
+// OpBytes is populated by WireSpan only (frame bytes per wire op).
 type Counters struct {
 	MsgsSent, BytesSent int64
 	MsgsRecv, BytesRecv int64
@@ -64,6 +67,9 @@ type Counters struct {
 	OpCount      map[string]int64
 	OpSim        map[string]float64
 	OpWall       map[string]int64
+	OpBytes      map[string]int64
+	OpSimHist    map[string]*Hist
+	OpWallHist   map[string]*Hist
 }
 
 // Recorder captures one rank's events and counters. It must only be used
@@ -78,6 +84,12 @@ type Recorder struct {
 	// the world's traffic matrix.
 	sentMsgsTo  []int64
 	sentBytesTo []int64
+	// live, when non-nil, mirrors the counters into atomics a concurrent
+	// HTTP snapshot (Serve) may read while the rank is still running. The
+	// recorder itself stays single-writer and lock-free; with no live
+	// endpoint attached the cost is one extra nil check per event.
+	live    *liveRank
+	liveOps map[string]*liveOp // owner-goroutine cache of live.ops entries
 }
 
 // Trace is a whole-program collection of per-rank recorders sharing one
@@ -95,9 +107,13 @@ func NewTrace(ranks int) *Trace {
 	t := &Trace{epoch: time.Now(), recs: make([]*Recorder, ranks)}
 	for r := range t.recs {
 		t.recs[r] = &Recorder{
-			rank:        r,
-			epoch:       t.epoch,
-			ctr:         Counters{OpCount: map[string]int64{}, OpSim: map[string]float64{}, OpWall: map[string]int64{}},
+			rank:  r,
+			epoch: t.epoch,
+			ctr: Counters{
+				OpCount: map[string]int64{}, OpSim: map[string]float64{},
+				OpWall: map[string]int64{}, OpBytes: map[string]int64{},
+				OpSimHist: map[string]*Hist{}, OpWallHist: map[string]*Hist{},
+			},
 			sentMsgsTo:  make([]int64, ranks),
 			sentBytesTo: make([]int64, ranks),
 		}
@@ -149,6 +165,15 @@ func (r *Recorder) Snapshot() Counters {
 	c.OpCount = copyMap(r.ctr.OpCount)
 	c.OpSim = copyMap(r.ctr.OpSim)
 	c.OpWall = copyMap(r.ctr.OpWall)
+	c.OpBytes = copyMap(r.ctr.OpBytes)
+	c.OpSimHist = make(map[string]*Hist, len(r.ctr.OpSimHist))
+	for k, h := range r.ctr.OpSimHist {
+		c.OpSimHist[k] = h.Clone()
+	}
+	c.OpWallHist = make(map[string]*Hist, len(r.ctr.OpWallHist))
+	for k, h := range r.ctr.OpWallHist {
+		c.OpWallHist[k] = h.Clone()
+	}
 	return c
 }
 
@@ -170,6 +195,7 @@ func (r *Recorder) Span(op string, peer, tag int, bytes int64, simStart, simEnd 
 		SimStart: simStart, SimEnd: simEnd, WallStart: wallStart, WallEnd: wallEnd,
 		KV: kv,
 	})
+	r.liveMark(simEnd)
 }
 
 // Instant records a zero-duration event at the given simulated time.
@@ -183,6 +209,7 @@ func (r *Recorder) Instant(op string, peer, tag int, bytes int64, sim float64, k
 		SimStart: sim, SimEnd: sim, WallStart: now, WallEnd: now,
 		Instant: true, KV: kv,
 	})
+	r.liveMark(sim)
 }
 
 // Send records one point-to-point send: a span covering the simulated
@@ -203,6 +230,11 @@ func (r *Recorder) Send(dst, tag int, bytes int64, simStart, simEnd float64) {
 		r.sentMsgsTo[dst]++
 		r.sentBytesTo[dst] += bytes
 	}
+	if r.live != nil {
+		r.live.msgsSent.Add(1)
+		r.live.bytesSent.Add(bytes)
+		r.liveMark(simEnd)
+	}
 }
 
 // Recv records one completed receive: a span from the simulated time the
@@ -221,6 +253,11 @@ func (r *Recorder) Recv(src, tag int, bytes int64, simStart, simEnd float64, wal
 	r.ctr.BytesRecv += bytes
 	r.ctr.RecvWaitSim += simEnd - simStart
 	r.ctr.RecvWaitWall += now - wallStart
+	if r.live != nil {
+		r.live.msgsRecv.Add(1)
+		r.live.bytesRecv.Add(bytes)
+		r.liveMark(simEnd)
+	}
 }
 
 // Collective records a whole collective invocation as a span and
@@ -235,6 +272,7 @@ func (r *Recorder) Collective(op string, root int, simStart, simEnd float64, wal
 		SimStart: simStart, SimEnd: simEnd, WallStart: wallStart, WallEnd: now,
 	})
 	r.countOp(op, simEnd-simStart, now-wallStart)
+	r.liveMark(simEnd)
 }
 
 // WallSpan records a span for substrates with no simulated clock (rdd,
@@ -254,6 +292,7 @@ func (r *Recorder) WallSpan(op string, startNs int64, kv ...KV) {
 		KV: kv,
 	})
 	r.countOp(op, float64(now-startNs)*1e-9, now-startNs)
+	r.liveMark(float64(now) * 1e-9)
 }
 
 // PhaseSpan records a named phase span with explicit simulated bounds
@@ -270,12 +309,63 @@ func (r *Recorder) PhaseSpan(op string, simStart, simEnd float64, wallStart int6
 		KV: kv,
 	})
 	r.countOp(op, simEnd-simStart, now-wallStart)
+	r.liveMark(simEnd)
+}
+
+// WireSpan accumulates one wire-level transport operation (the net
+// device's gob encode of an outgoing frame, or decode of an incoming
+// one): invocation count, frame bytes, and the wall-duration histogram.
+// Unlike the other recording methods it emits no timeline event — wall
+// durations are nondeterministic, and the Chrome export must stay a
+// pure function of the simulated clocks — so wall-clock-derived values
+// are safe by contract here (peachyvet's nondet rule knows this).
+func (r *Recorder) WireSpan(op string, bytes, wallNs int64) {
+	if r == nil {
+		return
+	}
+	r.ctr.OpCount[op]++
+	r.ctr.OpWall[op] += wallNs
+	r.ctr.OpBytes[op] += bytes
+	h := r.ctr.OpWallHist[op]
+	if h == nil {
+		h = &Hist{}
+		r.ctr.OpWallHist[op] = h
+	}
+	h.Observe(float64(wallNs))
+	if r.live != nil {
+		lo := r.liveFor(op)
+		lo.count.Add(1)
+		lo.wallNs.Add(wallNs)
+		lo.bytes.Add(bytes)
+		lo.wallHist.observe(float64(wallNs))
+		r.liveMark(0)
+	}
 }
 
 func (r *Recorder) countOp(op string, simDur float64, wallDur int64) {
 	r.ctr.OpCount[op]++
 	r.ctr.OpSim[op] += simDur
 	r.ctr.OpWall[op] += wallDur
+	simH := r.ctr.OpSimHist[op]
+	if simH == nil {
+		simH = &Hist{}
+		r.ctr.OpSimHist[op] = simH
+	}
+	simH.Observe(simDur)
+	wallH := r.ctr.OpWallHist[op]
+	if wallH == nil {
+		wallH = &Hist{}
+		r.ctr.OpWallHist[op] = wallH
+	}
+	wallH.Observe(float64(wallDur))
+	if r.live != nil {
+		lo := r.liveFor(op)
+		lo.count.Add(1)
+		lo.addSim(simDur)
+		lo.wallNs.Add(wallDur)
+		lo.simHist.observe(simDur)
+		lo.wallHist.observe(float64(wallDur))
+	}
 }
 
 // CollectiveOps is the set of cluster collective op names, used by the

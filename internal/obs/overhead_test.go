@@ -1,0 +1,34 @@
+// The disabled path contract: every recording method on a nil Recorder
+// is one branch and zero allocations — instrumentation left in shipping
+// hot paths must cost ~nothing when observability is off.
+package obs
+
+import "testing"
+
+func TestDetachedRecorderZeroAllocs(t *testing.T) {
+	var rec *Recorder
+	allocs := testing.AllocsPerRun(200, func() {
+		rec.Send(1, 1, 64, 0, 1)
+		rec.Recv(0, 1, 64, 0, 1, 0)
+		rec.Collective("Allreduce", -1, 0, 1, 0)
+		rec.PhaseSpan("phase", 0, 1, 0)
+		rec.WireSpan("net.tx", 64, 100)
+		rec.Span("io", -1, 0, 0, 0, 1, 0, 0)
+		rec.Instant("probe", -1, 0, 0, 0)
+		_ = rec.Now()
+		_ = rec.Enabled()
+	})
+	if allocs != 0 {
+		t.Errorf("detached recorder allocated %.1f times per op sequence, want 0", allocs)
+	}
+
+	var h *Hist
+	allocs = testing.AllocsPerRun(200, func() {
+		_ = h.Quantile(0.99)
+		_ = h.Count()
+		_ = h.Buckets()
+	})
+	if allocs != 0 {
+		t.Errorf("nil hist reads allocated %.1f times per op sequence, want 0", allocs)
+	}
+}

@@ -1,0 +1,154 @@
+// Tests for the live endpoint: the atomic snapshot must agree with the
+// recorder's own counters once the rank goroutine quiesces, the HTTP
+// surface must serve valid JSON while recording is still in flight (the
+// race detector is the real assertion there), and the nil/disabled
+// paths must be safe.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestLiveMetricsSnapshot(t *testing.T) {
+	tr := NewTrace(2)
+	tr.EnableLive()
+	for r := 0; r < 2; r++ {
+		mergeScript(tr.Rank(r), r, 2)
+	}
+	lm := tr.LiveMetrics()
+	if lm.Ranks != 2 {
+		t.Fatalf("Ranks = %d, want 2", lm.Ranks)
+	}
+	if lm.TotalMsgs != 2 || lm.TotalBytes != 128 {
+		t.Errorf("totals = %d msgs / %d bytes, want 2 / 128", lm.TotalMsgs, lm.TotalBytes)
+	}
+	for r, rm := range lm.PerRank {
+		if rm.MsgsSent != 1 || rm.MsgsRecv != 1 {
+			t.Errorf("rank %d: live sent/recv = %d/%d, want 1/1", r, rm.MsgsSent, rm.MsgsRecv)
+		}
+		if rm.LastProgressNs == 0 {
+			t.Errorf("rank %d: no live progress mark", r)
+		}
+		// The per-op live rows mirror the single-writer counters.
+		want := tr.Rank(r).Snapshot()
+		for _, op := range rm.Ops {
+			if op.Count != want.OpCount[op.Op] {
+				t.Errorf("rank %d op %s: live count %d, counters %d",
+					r, op.Op, op.Count, want.OpCount[op.Op])
+			}
+		}
+	}
+	if got := lm.PerRank[1].SimNow; got != 2 {
+		t.Errorf("rank 1 sim_now = %g, want 2 (last recorded sim end)", got)
+	}
+}
+
+// TestServeLiveEndpoints hits /metrics and /healthz over real HTTP while
+// a writer goroutine is still recording: under -race this proves the
+// lock-free recorder and the snapshot reader never touch unsynchronized
+// state.
+func TestServeLiveEndpoints(t *testing.T) {
+	tr := NewTrace(1)
+	srv, err := Serve("127.0.0.1:0", tr, ServerInfo{Rank: 0, World: 4, Device: "net/unix"})
+	if err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { //peachyvet:allow rawgo — the test IS the concurrent writer racing the HTTP reader
+		defer wg.Done()
+		rec := tr.Rank(0)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sim := float64(i)
+			rec.Send(0, 1, 8, sim, sim+0.1)
+			rec.Recv(0, 1, 8, sim+0.1, sim+0.2, rec.Now())
+			rec.Collective("Allreduce", -1, sim+0.2, sim+0.3, rec.Now())
+			rec.WireSpan("net.tx", 64, 1000)
+		}
+	}()
+
+	get := func(path string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: reading body: %v", path, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+		}
+		var doc map[string]any
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("GET %s: invalid JSON: %v\n%s", path, err, body)
+		}
+		return doc
+	}
+
+	for i := 0; i < 10; i++ {
+		m := get("/metrics")
+		if m["ranks"].(float64) != 1 {
+			t.Fatalf("/metrics ranks = %v, want 1", m["ranks"])
+		}
+		h := get("/healthz")
+		if h["status"] != "ok" || h["rank"].(float64) != 0 || h["world"].(float64) != 4 {
+			t.Fatalf("/healthz = %v", h)
+		}
+		if h["device"] != "net/unix" {
+			t.Fatalf("/healthz device = %v", h["device"])
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+}
+
+func TestServerNilSafe(t *testing.T) {
+	var s *Server
+	if s.Addr() != "" {
+		t.Error("nil Server Addr should be empty")
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("nil Server Close: %v", err)
+	}
+}
+
+func TestOffsetAddr(t *testing.T) {
+	cases := []struct {
+		addr string
+		rank int
+		want string
+	}{
+		{":9090", 2, ":9092"},
+		{"127.0.0.1:9090", 1, "127.0.0.1:9091"},
+		{"127.0.0.1:9090", 0, "127.0.0.1:9090"},
+		{"127.0.0.1:9090", -1, "127.0.0.1:9090"},
+		{":0", 3, ":0"},           // ephemeral: every rank asks the kernel
+		{"garbage", 1, "garbage"}, // unparsable passes through untouched
+		{"", 1, ""},
+	}
+	for _, c := range cases {
+		if got := OffsetAddr(c.addr, c.rank); got != c.want {
+			t.Errorf("OffsetAddr(%q, %d) = %q, want %q", c.addr, c.rank, got, c.want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // WriteSummary prints the terminal digest the -obs-summary flag shows:
@@ -54,6 +55,34 @@ func (t *Trace) WriteSummary(w io.Writer) {
 	if src >= 0 {
 		fmt.Fprintf(w, "  fattest edge: rank %d -> rank %d, %s in %d msgs\n",
 			src, dst, fmtBytes(edge), m.TrafficMsgs[src][dst])
+	}
+
+	// Latency distributions: the heaviest ops by total simulated time,
+	// with their histogram quantiles. Wire-level ops (net.tx/net.rx) have
+	// no simulated duration, so they report wall-clock quantiles instead.
+	ops := append([]OpMetrics(nil), m.Ops...)
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].SimS != ops[j].SimS {
+			return ops[i].SimS > ops[j].SimS
+		}
+		return ops[i].WallNs > ops[j].WallNs
+	})
+	if len(ops) > 4 {
+		ops = ops[:4]
+	}
+	for _, op := range ops {
+		switch {
+		case len(op.SimHist) > 0:
+			fmt.Fprintf(w, "  op %s: n=%d sim p50/p95/p99/max = %s/%s/%s/%s\n",
+				op.Op, op.Count,
+				fmtSeconds(op.SimP50), fmtSeconds(op.SimP95),
+				fmtSeconds(op.SimP99), fmtSeconds(op.SimMax))
+		case len(op.WallHist) > 0:
+			fmt.Fprintf(w, "  op %s: n=%d (%s) wall p50/p95/p99/max = %s/%s/%s/%s\n",
+				op.Op, op.Count, fmtBytes(op.Bytes),
+				fmtSeconds(float64(op.WallP50)*1e-9), fmtSeconds(float64(op.WallP95)*1e-9),
+				fmtSeconds(float64(op.WallP99)*1e-9), fmtSeconds(float64(op.WallMax)*1e-9))
+		}
 	}
 }
 

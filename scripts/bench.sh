@@ -21,7 +21,7 @@ OBS_OUT="BENCH_obs_metrics.json"
 case "$MODE" in
 --short | short)
 	BENCHTIME=5x
-	CLUSTER_RE='BenchmarkPingPong|BenchmarkMessageRate|BenchmarkCollectives/(Barrier|Allreduce)/'
+	CLUSTER_RE='BenchmarkPingPong|BenchmarkMessageRate|BenchmarkCollectives/(Barrier|Allreduce)/|BenchmarkObsOverhead/(detached|nil-recorder)'
 	NET_RE='BenchmarkNetPingPong/1024B|BenchmarkNetAllreduce/P2'
 	ROOT_RE='BenchmarkC8TaskFarm'
 	OUT="out/BENCH_cluster.short.json"
@@ -30,7 +30,7 @@ case "$MODE" in
 	;;
 full | --full)
 	BENCHTIME=1s
-	CLUSTER_RE='BenchmarkPingPong|BenchmarkAllreduce|BenchmarkMessageRate|BenchmarkCollectives'
+	CLUSTER_RE='BenchmarkPingPong|BenchmarkAllreduce|BenchmarkMessageRate|BenchmarkCollectives|BenchmarkObsOverhead'
 	NET_RE='BenchmarkNetPingPong|BenchmarkNetAllreduce'
 	ROOT_RE='BenchmarkC1KNNMapReduce|BenchmarkC2CombinerEffect|BenchmarkC4KMeansDistributed|BenchmarkC8TaskFarm'
 	;;

@@ -60,6 +60,19 @@ out/peachy obs-lint \
 	out/launch_metrics.json.rank2 out/launch_metrics.json.rank3
 cat out/launch_multi.txt
 
+echo "== cross-rank artifact merge (obs-merge, byte-identical across runs)"
+# Merging the per-rank artifacts (cross-checked by the merged lint) must
+# be deterministic: two merges of the same artifacts are byte-identical.
+out/peachy obs-merge -o out/launch_trace_merged.json 'out/launch_trace.json.rank*'
+out/peachy obs-merge -o out/launch_trace_merged2.json 'out/launch_trace.json.rank*'
+if ! cmp -s out/launch_trace_merged.json out/launch_trace_merged2.json; then
+	echo "check.sh: ERROR: obs-merge is not deterministic across runs" >&2
+	exit 1
+fi
+rm -f out/launch_trace_merged2.json
+out/peachy obs-merge -o out/launch_metrics_merged.json 'out/launch_metrics.json.rank*'
+out/peachy obs-lint out/launch_trace_merged.json out/launch_metrics_merged.json
+
 echo "== analyzer micro-benchmark (one pass)"
 go test -run '^$' -bench BenchmarkLoadAnalyzeRepo -benchtime 1x ./internal/analysis
 
